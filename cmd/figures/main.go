@@ -1,0 +1,120 @@
+// Command figures regenerates the paper's evaluation figures (§6):
+//
+//	Figure 12(a): execution time vs k          (plans 1-4)
+//	Figure 12(b): execution time vs predicate cost c
+//	Figure 12(c): execution time vs join selectivity j
+//	Figure 12(d): execution time vs table size s (plan1 omitted at 1M)
+//	Figure 13:    estimated vs real operator output cardinalities
+//
+// By default it runs at paper scale (s=100,000). Use -scale to shrink all
+// sizes proportionally for a quick pass, e.g. -scale 0.1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"ranksql/internal/bench"
+	"ranksql/internal/workload"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 12a|12b|12c|12d|13|all")
+		size    = flag.Int("size", 100000, "base table size s")
+		k       = flag.Int("k", 10, "default result count k")
+		joinSel = flag.Float64("j", 0.0001, "default join selectivity j")
+		cost    = flag.Float64("c", 1, "default predicate cost c")
+		spin    = flag.Int("spin", 200, "spin iterations per predicate cost unit (wall-clock realism)")
+		scale   = flag.Float64("scale", 1.0, "scale factor applied to sizes and 1/j")
+		seed    = flag.Uint64("seed", 1, "workload generator seed")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+		maxMat  = flag.Float64("maxmat", 4e6, "skip plan1 cells whose sort input would exceed this many tuples (0 = never)")
+		sample  = flag.Float64("sample", 0.001, "sampling ratio for figure 13's estimator (paper: 0.001)")
+	)
+	flag.Parse()
+
+	base := workload.Config{
+		Size:            int(float64(*size) * *scale),
+		JoinSelectivity: *joinSel / *scale,
+		PredCost:        *cost,
+		K:               *k,
+		BoolSelectivity: 0.4,
+		Seed:            *seed,
+	}
+	if base.JoinSelectivity > 1 {
+		base.JoinSelectivity = 1
+	}
+	opts := bench.SweepOpts{Base: base, Spin: *spin, MaxMaterialize: *maxMat}
+	if !*quiet {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+	ok := true
+
+	if run("12a") {
+		ks := []int{1, 10, 100, 1000}
+		s, err := bench.Figure12a(opts, ks)
+		ok = report(s, err) && ok
+	}
+	if run("12b") {
+		costs := []float64{0, 1, 10, 100, 1000}
+		s, err := bench.Figure12b(opts, costs)
+		ok = report(s, err) && ok
+	}
+	if run("12c") {
+		sels := scaledSels([]float64{0.00001, 0.0001, 0.001}, *scale)
+		s, err := bench.Figure12c(opts, sels)
+		ok = report(s, err) && ok
+	}
+	if run("12d") {
+		sizes := []int{
+			int(10000 * *scale), int(100000 * *scale), int(1000000 * *scale),
+		}
+		o := opts
+		o.SkipPlan1Above = int(100000 * *scale)
+		s, err := bench.Figure12d(o, sizes)
+		ok = report(s, err) && ok
+	}
+	if run("13") {
+		opts13 := opts
+		opts13.SampleRatio = *sample
+		for _, p := range []bench.PlanID{bench.Plan3, bench.Plan4} {
+			f, err := bench.Figure13(opts13, p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure 13 %s: %v\n", p, err)
+				ok = false
+				continue
+			}
+			f.Fprint(os.Stdout)
+			fmt.Printf("same-order-of-magnitude: %.0f%%\n\n", 100*f.AccurateFraction())
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func report(s *bench.Series, err error) bool {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figure %s: %v\n", s.Figure, err)
+		return false
+	}
+	s.Fprint(os.Stdout)
+	fmt.Println(strings.Repeat("-", 68))
+	return true
+}
+
+// scaledSels rescales the selectivity sweep so the distinct-value counts
+// stay proportional under -scale.
+func scaledSels(sels []float64, scale float64) []float64 {
+	out := make([]float64, len(sels))
+	for i, s := range sels {
+		out[i] = math.Min(1, s/scale)
+	}
+	return out
+}

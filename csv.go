@@ -1,0 +1,127 @@
+package ranksql
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ranksql/internal/types"
+)
+
+// LoadCSV bulk-loads CSV records into an existing table and returns the
+// number of rows inserted. Cells are converted to the column's declared
+// type; empty cells become NULL. When header is true the first record is
+// skipped. Secondary and rank indexes are rebuilt once at the end, so
+// bulk loads stay linear.
+func (db *DB) LoadCSV(table string, r io.Reader, header bool) (int, error) {
+	tm, err := db.eng.Catalog.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = tm.Table.Schema.Len()
+	n := 0
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("ranksql: csv row %d: %w", n+1, err)
+		}
+		if first && header {
+			first = false
+			continue
+		}
+		first = false
+		row := make([]types.Value, len(rec))
+		for i, cell := range rec {
+			v, err := convertCell(cell, tm.Table.Schema.Columns[i].Kind)
+			if err != nil {
+				return n, fmt.Errorf("ranksql: csv row %d column %s: %w",
+					n+1, tm.Table.Schema.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		if _, err := tm.Table.Append(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	// Derived structures are stale after a bulk append.
+	tm.Stats = nil
+	tm.Sample = nil
+	if err := db.eng.RebuildIndexes(tm); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// convertCell parses one CSV cell into the column's type.
+func convertCell(cell string, kind types.Kind) (types.Value, error) {
+	c := strings.TrimSpace(cell)
+	if c == "" || strings.EqualFold(c, "null") {
+		return types.Null(), nil
+	}
+	switch kind {
+	case types.KindInt:
+		n, err := strconv.ParseInt(c, 10, 64)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.NewInt(n), nil
+	case types.KindFloat:
+		f, err := strconv.ParseFloat(c, 64)
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.NewFloat(f), nil
+	case types.KindBool:
+		b, err := strconv.ParseBool(strings.ToLower(c))
+		if err != nil {
+			return types.Null(), err
+		}
+		return types.NewBool(b), nil
+	default:
+		return types.NewString(cell), nil
+	}
+}
+
+// DumpCSV writes a query result as CSV (header row of column names, then
+// data rows; ranking scores are appended as a final "score" column when
+// the query ranked).
+func DumpCSV(w io.Writer, rows *Rows) error {
+	cw := csv.NewWriter(w)
+	ranked := false
+	for _, s := range rows.Scores {
+		if s != 0 {
+			ranked = true
+			break
+		}
+	}
+	head := append([]string{}, rows.Columns...)
+	if ranked {
+		head = append(head, "score")
+	}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for i := 0; i < rows.Len(); i++ {
+		row := rows.At(i)
+		rec := make([]string, 0, len(row)+1)
+		for _, v := range row {
+			rec = append(rec, v.String())
+		}
+		if ranked {
+			rec = append(rec, strconv.FormatFloat(rows.Scores[i], 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

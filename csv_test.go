@@ -1,0 +1,110 @@
+package ranksql_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ranksql"
+)
+
+func TestLoadCSV(t *testing.T) {
+	db := ranksql.Open()
+	if _, err := db.Exec(`CREATE TABLE m (name TEXT, price FLOAT, qty INT, live BOOL)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterScorer("cheap", func(args []ranksql.Value) float64 {
+		return 1 - args[0].Float()/100
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE RANK INDEX ON m (cheap(price))`); err != nil {
+		t.Fatal(err)
+	}
+
+	csvData := `name,price,qty,live
+widget,10.5,3,true
+gadget,99,7,false
+gizmo,,1,true
+`
+	n, err := db.LoadCSV("m", strings.NewReader(csvData), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d rows, want 3", n)
+	}
+	rows, err := db.Query(`SELECT name, price FROM m WHERE live ORDER BY cheap(price) LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scorer sees gizmo's NULL price as 0.0 → score 1.0, so it
+	// legitimately ranks first; widget (10.5) second.
+	if rows.Len() != 2 || rows.At(0)[0].Text() != "gizmo" || rows.At(1)[0].Text() != "widget" {
+		t.Errorf("top-2 after CSV load = %v, %v", rows.At(0), rows.At(1))
+	}
+	all, err := db.Query(`SELECT name FROM m WHERE price IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 1 || all.At(0)[0].Text() != "gizmo" {
+		t.Errorf("NULL cell handling: %v", all)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := ranksql.Open()
+	if _, err := db.Exec(`CREATE TABLE m (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadCSV("missing", strings.NewReader("1\n"), false); err == nil {
+		t.Error("missing table accepted")
+	}
+	if _, err := db.LoadCSV("m", strings.NewReader("notanint\n"), false); err == nil {
+		t.Error("bad cell accepted")
+	}
+	if _, err := db.LoadCSV("m", strings.NewReader("1,2\n"), false); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestDumpCSV(t *testing.T) {
+	db := ranksql.Open()
+	if _, err := db.Exec(`CREATE TABLE m (a INT, b TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO m VALUES (1, 'x'), (2, 'y')`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(`SELECT a, b FROM m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ranksql.DumpCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "m.a,m.b\n") {
+		t.Errorf("header = %q", out)
+	}
+	if !strings.Contains(out, "1,x") || !strings.Contains(out, "2,y") {
+		t.Errorf("rows missing: %q", out)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := ranksql.Open()
+	if _, err := db.Exec(`CREATE TABLE m (a INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`DROP TABLE m`); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Tables()) != 0 {
+		t.Error("table survived drop")
+	}
+	if _, err := db.Exec(`DROP TABLE m`); err == nil {
+		t.Error("double drop accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: the smallest complete RankSQL program — create a table,
+// register a scorer, run a top-k query, inspect the plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ranksql"
+)
+
+func main() {
+	db := ranksql.Open()
+
+	// Schema and data.
+	mustExec(db, `CREATE TABLE hotel (name TEXT, price FLOAT, stars INT)`)
+	mustExec(db, `INSERT INTO hotel VALUES
+		('Grand',  120, 4),
+		('Budget',  40, 2),
+		('Plaza',   90, 4),
+		('Inn',     60, 3),
+		('Suites', 150, 5)`)
+
+	// A ranking predicate: cheaper is better.
+	err := db.RegisterScorer("cheap", func(args []ranksql.Value) float64 {
+		return (200 - args[0].Float()) / 200
+	}, ranksql.WithCost(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Another: more stars are better.
+	err = db.RegisterScorer("starred", func(args []ranksql.Value) float64 {
+		return args[0].Float() / 5
+	}, ranksql.WithCost(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A rank index gives the optimizer a rank-scan access path.
+	mustExec(db, `CREATE RANK INDEX ON hotel (cheap(price))`)
+
+	// Top-2 hotels balancing price and stars.
+	query := `SELECT name, price, stars FROM hotel
+		ORDER BY cheap(price) + starred(stars) LIMIT 2`
+	rows, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-2 hotels by cheap(price) + starred(stars):")
+	for rows.Next() {
+		r := rows.Row()
+		fmt.Printf("  %-8s price=%v stars=%v score=%.3f\n",
+			r[0].Text(), r[1].Any(), r[2].Any(), rows.Score())
+	}
+
+	// How was it executed?
+	plan, err := db.Explain(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nplan:")
+	fmt.Print(plan)
+	fmt.Printf("\nscanned %d tuples, %d predicate evaluations\n",
+		rows.Stats.TuplesScanned, rows.Stats.PredEvals)
+}
+
+func mustExec(db *ranksql.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}

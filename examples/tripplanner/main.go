@@ -1,0 +1,199 @@
+// Tripplanner reproduces Example 1 of the RankSQL paper at a realistic
+// scale: Amy plans a trip — a hotel, an Italian restaurant within a
+// combined budget, and a museum in the restaurant's area — ranked by
+// cheap hotel price, hotel–restaurant proximity, and how well the
+// museum's collection matches her dinosaur interest.
+//
+// The program generates a few thousand rows per table, runs the top-k
+// query with the rank-aware optimizer, then reruns it with rank operators
+// disabled (a traditional optimizer) and compares the work done.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"ranksql"
+)
+
+// xorshift64* PRNG so the demo is deterministic without math/rand.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545F4914F6CDD1D
+}
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+const (
+	nHotels      = 3000
+	nRestaurants = 3000
+	nMuseums     = 1000
+	nAreas       = 60
+)
+
+func main() {
+	db := ranksql.Open()
+	seedData(db)
+	registerScorers(db)
+
+	// Rank indexes: the optimizer can rank-scan hotels by cheapness and
+	// museums by dinosaur-relatedness.
+	mustExec(db, `CREATE RANK INDEX ON Hotel (cheap(price))`)
+	mustExec(db, `CREATE RANK INDEX ON Museum (related(collection))`)
+
+	query := `
+		SELECT h.name, r.name, m.name
+		FROM Hotel h, Restaurant r, Museum m
+		WHERE r.cuisine = 'Italian' AND h.price + r.price < 100 AND r.area = m.area
+		ORDER BY cheap(h.price) + close(h.addr, r.addr) + related(m.collection)
+		LIMIT 5`
+
+	fmt.Println("== rank-aware optimizer ==")
+	plan, err := db.Explain(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+	rows, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printTrip(rows)
+
+	// The same query through a traditional optimizer: every predicate is
+	// evaluated on every joined row, then everything is sorted.
+	if err := db.SetTuning(tuningTraditional()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== traditional optimizer (materialize-then-sort) ==")
+	tRows, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same top score: %.4f vs %.4f\n", rows.Scores[0], tRows.Scores[0])
+	fmt.Printf("\nwork comparison (rank-aware vs traditional):\n")
+	fmt.Printf("  tuples scanned:        %8d vs %8d\n", rows.Stats.TuplesScanned, tRows.Stats.TuplesScanned)
+	fmt.Printf("  predicate evaluations: %8d vs %8d\n", rows.Stats.PredEvals, tRows.Stats.PredEvals)
+	fmt.Printf("  predicate cost units:  %8.0f vs %8.0f\n", rows.Stats.PredCostUnits, tRows.Stats.PredCostUnits)
+}
+
+func tuningTraditional() ranksql.Tuning {
+	t := ranksql.DefaultTuning()
+	t.NoRankOperators = true
+	return t
+}
+
+func printTrip(rows *ranksql.Rows) {
+	fmt.Println("top trips:")
+	i := 0
+	for rows.Next() {
+		r := rows.Row()
+		i++
+		fmt.Printf("  %d. stay %-12s eat %-12s visit %-22s score=%.4f\n",
+			i, r[0].Text(), r[1].Text(), r[2].Text(), rows.Score())
+	}
+}
+
+func registerScorers(db *ranksql.DB) {
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	// p1: cheap(h.price) — cheap predicate over an attribute.
+	must(db.RegisterScorer("cheap", func(args []ranksql.Value) float64 {
+		return math.Max(0, (120-args[0].Float())/120)
+	}, ranksql.WithCost(1)))
+	// p2: close(h.addr, r.addr) — a rank-JOIN predicate spanning two
+	// relations (geographic proximity, modeled on a 1-D street).
+	must(db.RegisterScorer("close", func(args []ranksql.Value) float64 {
+		d := math.Abs(args[0].Float() - args[1].Float())
+		return 1 / (1 + d/25)
+	}, ranksql.WithCost(5)))
+	// p3: related(m.collection, "dinosaur") — an IR-style predicate.
+	must(db.RegisterScorer("related", func(args []ranksql.Value) float64 {
+		text := strings.ToLower(args[0].Text())
+		score := 0.05
+		for _, kw := range []string{"dinosaur", "fossil", "jurassic", "paleo"} {
+			if strings.Contains(text, kw) {
+				score += 0.25
+			}
+		}
+		return math.Min(1, score)
+	}, ranksql.WithCost(8)))
+}
+
+func seedData(db *ranksql.DB) {
+	mustExec(db, `CREATE TABLE Hotel (name TEXT, price FLOAT, addr INT)`)
+	mustExec(db, `CREATE TABLE Restaurant (name TEXT, cuisine TEXT, price FLOAT, addr INT, area INT)`)
+	mustExec(db, `CREATE TABLE Museum (name TEXT, collection TEXT, area INT)`)
+
+	r := rng(2024)
+	cuisines := []string{"Italian", "Chinese", "French", "Mexican", "Thai"}
+	themes := []string{
+		"dinosaur fossils", "impressionist paintings", "jurassic paleo exhibits",
+		"modern sculpture", "city history", "dinosaur eggs", "space and robots",
+		"fossil collections", "folk art",
+	}
+
+	var batch []string
+	flush := func(table string) {
+		if len(batch) == 0 {
+			return
+		}
+		mustExec(db, "INSERT INTO "+table+" VALUES "+strings.Join(batch, ", "))
+		batch = batch[:0]
+	}
+	for i := 0; i < nHotels; i++ {
+		batch = append(batch, fmt.Sprintf("('Hotel-%d', %.2f, %d)",
+			i, 20+r.float()*130, r.intn(1000)))
+		if len(batch) == 500 {
+			flush("Hotel")
+		}
+	}
+	flush("Hotel")
+	for i := 0; i < nRestaurants; i++ {
+		batch = append(batch, fmt.Sprintf("('Rest-%d', '%s', %.2f, %d, %d)",
+			i, cuisines[r.intn(len(cuisines))], 10+r.float()*60, r.intn(1000), r.intn(nAreas)))
+		if len(batch) == 500 {
+			flush("Restaurant")
+		}
+	}
+	flush("Restaurant")
+	for i := 0; i < nMuseums; i++ {
+		batch = append(batch, fmt.Sprintf("('Museum-%d %s', '%s', %d)",
+			i, shortTheme(themes[r.intn(len(themes))]), themes[r.intn(len(themes))], r.intn(nAreas)))
+		if len(batch) == 500 {
+			flush("Museum")
+		}
+	}
+	flush("Museum")
+}
+
+func shortTheme(t string) string {
+	if i := strings.IndexByte(t, ' '); i > 0 {
+		return strings.Title(t[:i])
+	}
+	return strings.Title(t)
+}
+
+func mustExec(db *ranksql.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", firstLine(sql), err)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i > 0 {
+		return s[:i] + "..."
+	}
+	return s
+}

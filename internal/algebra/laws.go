@@ -1,0 +1,172 @@
+package algebra
+
+import "ranksql/internal/schema"
+
+// This file encodes the algebraic equivalence laws of Figure 5 as tree
+// rewrites. Each function maps an expression to an equivalent one; the
+// property tests check Equivalent(lhs, rhs) on randomized inputs. In a
+// rule-based (Volcano/Cascades) optimizer these are exactly the
+// transformation rules the paper's §5 describes; the bottom-up enumerator
+// in internal/optimizer explores the same space constructively.
+
+// SplitMu implements Proposition 1 (splitting law):
+// R_{p1..pn} ≡ µp1(µp2(...µpn(R))) — builds the right-hand side for a
+// predicate set over a base relation.
+func SplitMu(base Expr, preds []int) Expr {
+	e := base
+	for i := len(preds) - 1; i >= 0; i-- {
+		e = &Mu{P: preds[i], E: e}
+	}
+	return e
+}
+
+// CommuteBinary implements Proposition 2 (commutativity of ∩, ∪, ⨝):
+// R Θ S ≡ S Θ R. For joins the condition and predicate attribution flip.
+func CommuteBinary(e Expr) (Expr, bool) {
+	switch n := e.(type) {
+	case *SetOp:
+		if n.Kind == Diff {
+			return nil, false // difference does not commute
+		}
+		return &SetOp{Kind: n.Kind, L: n.R, R: n.L}, true
+	case *Join:
+		spec := n
+		return &Join{
+			Cond:       func(l, r Tuple) bool { return spec.Cond(r, l) },
+			Name:       n.Name,
+			RightPreds: complementPreds(n),
+			L:          n.R,
+			R:          n.L,
+		}, true
+	default:
+		return nil, false
+	}
+}
+
+// complementPreds computes the predicate attribution for a flipped join:
+// every predicate index not owned by the right side.
+func complementPreds(j *Join) schema.Bitset {
+	// The model does not track the left set explicitly; flipping twice
+	// must round-trip, so attribute to the new right (= old left) the
+	// complement within the used width.
+	return ^j.RightPreds
+}
+
+// AssocJoin implements Proposition 3 (associativity) for joins:
+// (R ⨝ S) ⨝ T ≡ R ⨝ (S ⨝ T), applicable when the outer condition only
+// relates S and T columns (join columns available). The model keeps
+// conditions opaque, so the caller supplies the re-associated conditions;
+// this helper just restructures the tree.
+func AssocJoin(rs *Join, outer *Join, newInner, newOuter *Join) (Expr, bool) {
+	if outer.L != Expr(rs) {
+		return nil, false
+	}
+	return &Join{
+		Cond:       newOuter.Cond,
+		Name:       newOuter.Name,
+		RightPreds: newOuter.RightPreds,
+		L:          rs.L,
+		R: &Join{
+			Cond:       newInner.Cond,
+			Name:       newInner.Name,
+			RightPreds: newInner.RightPreds,
+			L:          rs.R,
+			R:          outer.R,
+		},
+	}, true
+}
+
+// CommuteMuMu implements the first half of Proposition 4:
+// µp1(µp2(R)) ≡ µp2(µp1(R)).
+func CommuteMuMu(e Expr) (Expr, bool) {
+	outer, ok := e.(*Mu)
+	if !ok {
+		return nil, false
+	}
+	inner, ok := outer.E.(*Mu)
+	if !ok {
+		return nil, false
+	}
+	return &Mu{P: inner.P, E: &Mu{P: outer.P, E: inner.E}}, true
+}
+
+// CommuteMuSelect implements the second half of Proposition 4:
+// σc(µp(R)) ≡ µp(σc(R)).
+func CommuteMuSelect(e Expr) (Expr, bool) {
+	switch n := e.(type) {
+	case *Select:
+		if mu, ok := n.E.(*Mu); ok {
+			return &Mu{P: mu.P, E: &Select{Cond: n.Cond, Name: n.Name, E: mu.E}}, true
+		}
+	case *Mu:
+		if sel, ok := n.E.(*Select); ok {
+			return &Select{Cond: sel.Cond, Name: sel.Name, E: &Mu{P: n.P, E: sel.E}}, true
+		}
+	}
+	return nil, false
+}
+
+// PushMuJoin implements Proposition 5 for ⨝: µp(R ⨝c S) ≡ µp(R) ⨝c S when
+// only R has attributes in p (leftOwns), or µp(R) ⨝c µp(S) when both do.
+// In the model a predicate's scores live on whichever side owns them, so
+// the caller states ownership.
+func PushMuJoin(e Expr, leftOwns, rightOwns bool) (Expr, bool) {
+	mu, ok := e.(*Mu)
+	if !ok {
+		return nil, false
+	}
+	j, ok := mu.E.(*Join)
+	if !ok {
+		return nil, false
+	}
+	nj := &Join{Cond: j.Cond, Name: j.Name, RightPreds: j.RightPreds, L: j.L, R: j.R}
+	switch {
+	case leftOwns && rightOwns:
+		nj.L = &Mu{P: mu.P, E: j.L}
+		nj.R = &Mu{P: mu.P, E: j.R}
+	case leftOwns:
+		nj.L = &Mu{P: mu.P, E: j.L}
+	case rightOwns:
+		nj.R = &Mu{P: mu.P, E: j.R}
+	default:
+		return nil, false
+	}
+	return nj, true
+}
+
+// PushMuSet implements Proposition 5 for ∪, ∩ and −:
+//
+//	µp(R ∪ S) ≡ µp(R) ∪ µp(S) ≡ µp(R) ∪ S
+//	µp(R ∩ S) ≡ µp(R) ∩ µp(S) ≡ µp(R) ∩ S
+//	µp(R − S) ≡ µp(R) − S ≡ µp(R) − µp(S)
+//
+// both reports whether to push into both operands (true) or only the left.
+func PushMuSet(e Expr, both bool) (Expr, bool) {
+	mu, ok := e.(*Mu)
+	if !ok {
+		return nil, false
+	}
+	s, ok := mu.E.(*SetOp)
+	if !ok {
+		return nil, false
+	}
+	ns := &SetOp{Kind: s.Kind, L: &Mu{P: mu.P, E: s.L}, R: s.R}
+	if both {
+		ns.R = &Mu{P: mu.P, E: s.R}
+	}
+	return ns, true
+}
+
+// MultiScanMu implements Proposition 6 (multiple-scan law):
+// µp1(µp2(R_∅)) ≡ µp1(R_∅) ∩r µp2(R_∅) — evaluating two predicates over
+// one scan equals intersecting two independently ranked scans of the same
+// base relation.
+func MultiScanMu(base *Base, p1, p2 int) (lhs, rhs Expr) {
+	lhs = &Mu{P: p1, E: &Mu{P: p2, E: base}}
+	rhs = &SetOp{
+		Kind: Intersect,
+		L:    &Mu{P: p1, E: base},
+		R:    &Mu{P: p2, E: base},
+	}
+	return lhs, rhs
+}

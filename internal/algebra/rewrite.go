@@ -1,0 +1,243 @@
+package algebra
+
+import (
+	"sort"
+
+	"ranksql/internal/schema"
+)
+
+// This file implements the rule-based optimizer extension the paper
+// sketches in §5 for Volcano/Cascades-style systems: the algebraic laws
+// of Figure 5 packaged as transformation rules, and an exhaustive
+// (bounded) enumerator that closes an expression under the rules. The
+// bottom-up enumerator in internal/optimizer explores the same space
+// constructively; this rewriter exists to demonstrate — and property-test
+// — that the transformation-rule route generates only equivalent plans.
+
+// Rule is one transformation rule: given an expression node, produce the
+// equivalent alternatives reachable in a single application at the root.
+type Rule struct {
+	Name  string
+	Apply func(e Expr) []Expr
+}
+
+// ownership reports which side of a join owns predicate p, using the
+// join's declared predicate attribution.
+func ownership(j *Join, p int) (left, right bool) {
+	if j.RightPreds.Has(p) {
+		return false, true
+	}
+	return true, false
+}
+
+// DefaultRules returns the transformation rules derived from
+// Propositions 1-6.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			// Proposition 4a: µp1(µp2(R)) → µp2(µp1(R)).
+			Name: "commute-mu-mu",
+			Apply: func(e Expr) []Expr {
+				if out, ok := CommuteMuMu(e); ok {
+					return []Expr{out}
+				}
+				return nil
+			},
+		},
+		{
+			// Proposition 4b, both directions: σ and µ swap freely.
+			Name: "commute-mu-select",
+			Apply: func(e Expr) []Expr {
+				if out, ok := CommuteMuSelect(e); ok {
+					return []Expr{out}
+				}
+				return nil
+			},
+		},
+		{
+			// Proposition 2: commute ∪, ∩, ⨝.
+			Name: "commute-binary",
+			Apply: func(e Expr) []Expr {
+				if out, ok := CommuteBinary(e); ok {
+					return []Expr{out}
+				}
+				return nil
+			},
+		},
+		{
+			// Proposition 5 for joins: push µ to its owning side(s).
+			Name: "push-mu-join",
+			Apply: func(e Expr) []Expr {
+				mu, ok := e.(*Mu)
+				if !ok {
+					return nil
+				}
+				j, ok := mu.E.(*Join)
+				if !ok {
+					return nil
+				}
+				l, r := ownership(j, mu.P)
+				if out, ok := PushMuJoin(e, l, r); ok {
+					return []Expr{out}
+				}
+				return nil
+			},
+		},
+		{
+			// Proposition 5 for set operators: push µ into one or both
+			// operands.
+			Name: "push-mu-set",
+			Apply: func(e Expr) []Expr {
+				var outs []Expr
+				if out, ok := PushMuSet(e, true); ok {
+					outs = append(outs, out)
+				}
+				if out, ok := PushMuSet(e, false); ok {
+					outs = append(outs, out)
+				}
+				return outs
+			},
+		},
+		{
+			// The pull-up inverses of push-mu: µp(R) Θ S → µp(R Θ S),
+			// closing the space in both directions (split/interleave and
+			// re-merge).
+			Name: "pull-mu-up",
+			Apply: func(e Expr) []Expr {
+				var outs []Expr
+				switch n := e.(type) {
+				case *Join:
+					if mu, ok := n.L.(*Mu); ok {
+						outs = append(outs, &Mu{P: mu.P, E: &Join{
+							Cond: n.Cond, Name: n.Name, RightPreds: n.RightPreds,
+							L: mu.E, R: n.R}})
+					}
+					if mu, ok := n.R.(*Mu); ok {
+						outs = append(outs, &Mu{P: mu.P, E: &Join{
+							Cond: n.Cond, Name: n.Name, RightPreds: n.RightPreds,
+							L: n.L, R: mu.E}})
+					}
+				case *SetOp:
+					if mu, ok := n.L.(*Mu); ok {
+						outs = append(outs, &Mu{P: mu.P, E: &SetOp{
+							Kind: n.Kind, L: mu.E, R: n.R}})
+					}
+					// Pulling from the right operand alone is only sound
+					// for ∪ and ∩ (difference ignores the inner side's
+					// predicates in its order).
+					if mu, ok := n.R.(*Mu); ok && n.Kind != Diff {
+						outs = append(outs, &Mu{P: mu.P, E: &SetOp{
+							Kind: n.Kind, L: n.L, R: mu.E}})
+					}
+				}
+				return outs
+			},
+		},
+	}
+}
+
+// canonKey canonicalizes an expression for memoization. Two structurally
+// identical trees share a key; semantically equivalent but structurally
+// different trees do not (that is the point of enumeration).
+func canonKey(e Expr) string { return e.String() }
+
+// Enumerate closes root under the rules (applied at every node) and
+// returns the distinct expressions found, up to maxPlans (a safety bound;
+// 0 means 4096). The result always includes root itself.
+func Enumerate(root Expr, rules []Rule, maxPlans int) []Expr {
+	if maxPlans <= 0 {
+		maxPlans = 4096
+	}
+	seen := map[string]Expr{canonKey(root): root}
+	frontier := []Expr{root}
+	for len(frontier) > 0 && len(seen) < maxPlans {
+		var next []Expr
+		for _, e := range frontier {
+			for _, alt := range expand(e, rules) {
+				k := canonKey(alt)
+				if _, dup := seen[k]; !dup {
+					seen[k] = alt
+					next = append(next, alt)
+					if len(seen) >= maxPlans {
+						break
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Expr, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// expand applies every rule at every node of e, producing the expressions
+// reachable in one rewrite step.
+func expand(e Expr, rules []Rule) []Expr {
+	var outs []Expr
+	// Apply at the root.
+	for _, r := range rules {
+		outs = append(outs, r.Apply(e)...)
+	}
+	// Recurse into children, substituting each rewritten child back.
+	switch n := e.(type) {
+	case *Mu:
+		for _, c := range expand(n.E, rules) {
+			outs = append(outs, &Mu{P: n.P, E: c})
+		}
+	case *Select:
+		for _, c := range expand(n.E, rules) {
+			outs = append(outs, &Select{Cond: n.Cond, Name: n.Name, E: c})
+		}
+	case *SetOp:
+		for _, c := range expand(n.L, rules) {
+			outs = append(outs, &SetOp{Kind: n.Kind, L: c, R: n.R})
+		}
+		for _, c := range expand(n.R, rules) {
+			outs = append(outs, &SetOp{Kind: n.Kind, L: n.L, R: c})
+		}
+	case *Join:
+		for _, c := range expand(n.L, rules) {
+			outs = append(outs, &Join{Cond: n.Cond, Name: n.Name,
+				RightPreds: n.RightPreds, L: c, R: n.R})
+		}
+		for _, c := range expand(n.R, rules) {
+			outs = append(outs, &Join{Cond: n.Cond, Name: n.Name,
+				RightPreds: n.RightPreds, L: n.L, R: c})
+		}
+	}
+	return outs
+}
+
+// SplitSort rewrites the canonical "sort by everything" form into the
+// fully split µ chain (Proposition 1), the entry point a rule-based
+// optimizer would use to seed the rank-aware space from a traditional
+// plan: R ranked by all of P becomes µ_{p1}(...µ_{pn}(R)...).
+func SplitSort(base *Base, spec int) Expr {
+	preds := make([]int, spec)
+	for i := range preds {
+		preds[i] = i
+	}
+	return SplitMu(base, preds)
+}
+
+// muChainPreds collects the µ predicates applied along a chain, used by
+// tests to assert enumeration coverage.
+func muChainPreds(e Expr) (schema.Bitset, Expr) {
+	var b schema.Bitset
+	for {
+		mu, ok := e.(*Mu)
+		if !ok {
+			return b, e
+		}
+		b = b.With(mu.P)
+		e = mu.E
+	}
+}

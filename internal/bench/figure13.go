@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ranksql/internal/optimizer"
+	"ranksql/internal/workload"
+)
+
+// OpCard compares one operator's real output cardinality during a top-k
+// execution against the sampling-based estimate (Figure 13).
+type OpCard struct {
+	Index     int
+	Name      string
+	Real      int64
+	Estimated float64
+}
+
+// Fig13Result is Figure 13 for one plan.
+type Fig13Result struct {
+	Plan   PlanID
+	XPrime float64
+	KPrime int
+	Ops    []OpCard
+}
+
+// Figure13 reproduces the cardinality-estimation experiment for one plan
+// (the paper reports plan3 and plan4; plan2 behaves like plan3): run the
+// §5.2 estimator over the plan, execute the plan for real with LIMIT k,
+// and pair per-operator estimated and actual output cardinalities. The
+// top operator and selection operators are excluded, exactly as in §6.2.
+func Figure13(opts SweepOpts, id PlanID) (*Fig13Result, error) {
+	db, err := workload.Build(opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := BuildPlan(db, id)
+	if err != nil {
+		return nil, err
+	}
+	annotateEval(db, plan)
+
+	// Estimate every node with the sampling method.
+	eopts := optimizer.DefaultOptions()
+	if opts.SampleRatio > 0 {
+		eopts.SampleRatio = opts.SampleRatio
+	}
+	if opts.MinSampleRows > 0 {
+		eopts.MinSampleRows = opts.MinSampleRows
+	}
+	est, err := optimizer.NewEstimatorForQuery(db.Query(), eopts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := est.Estimate(plan); err != nil {
+		return nil, err
+	}
+
+	// Execute for real and collect per-operator output counts.
+	runner := &Runner{DB: db, SpinPerCostUnit: opts.Spin}
+	m, err := runner.RunPlanNode(id, plan, opts.Base.K)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pair the plan's pre-order with the measured counts; the measured
+	// walk includes the harness's λ_k at the root, so skip its first
+	// entry.
+	var nodes []*optimizer.PlanNode
+	var walk func(*optimizer.PlanNode)
+	walk = func(p *optimizer.PlanNode) {
+		nodes = append(nodes, p)
+		for _, c := range p.Children {
+			walk(c)
+		}
+	}
+	walk(plan)
+	counts := m.OpCounts[1:]
+	if len(counts) != len(nodes) {
+		return nil, fmt.Errorf("bench: plan has %d nodes but %d measured operators", len(nodes), len(counts))
+	}
+
+	res := &Fig13Result{Plan: id, XPrime: est.XPrime, KPrime: est.KPrime}
+	idx := 0
+	for i, n := range nodes {
+		if i == 0 || n.Kind == optimizer.KindFilter {
+			continue // top operator and selections are not estimated
+		}
+		idx++
+		res.Ops = append(res.Ops, OpCard{
+			Index:     idx,
+			Name:      n.Label(),
+			Real:      counts[i].Out,
+			Estimated: n.Card,
+		})
+	}
+	return res, nil
+}
+
+// Fprint renders the comparison table.
+func (f *Fig13Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Figure 13 — estimated vs real output cardinality (%s, x'=%.4f, k'=%d)\n",
+		f.Plan, f.XPrime, f.KPrime)
+	fmt.Fprintf(w, "%-4s %-28s %12s %12s\n", "#", "operator", "real", "estimated")
+	for _, o := range f.Ops {
+		fmt.Fprintf(w, "%-4d %-28s %12d %12.1f\n", o.Index, o.Name, o.Real, o.Estimated)
+	}
+}
+
+// sameMagnitude reports whether the estimate is within one order of
+// magnitude of the real count (the paper's accuracy criterion).
+func (o OpCard) sameMagnitude() bool {
+	r := float64(o.Real)
+	e := o.Estimated
+	if r == 0 || e == 0 {
+		return r == e || (r <= 10 && e <= 10)
+	}
+	ratio := e / r
+	return ratio >= 0.1 && ratio <= 10
+}
+
+// AccurateFraction is the share of operators whose estimate lands in the
+// same order of magnitude as the real cardinality.
+func (f *Fig13Result) AccurateFraction() float64 {
+	if len(f.Ops) == 0 {
+		return 1
+	}
+	n := 0
+	for _, o := range f.Ops {
+		if o.sameMagnitude() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(f.Ops))
+}

@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ranksql/internal/exec"
+	"ranksql/internal/optimizer"
+	"ranksql/internal/workload"
+)
+
+// Measurement is the outcome of executing one plan once.
+type Measurement struct {
+	Plan    PlanID
+	K       int
+	Results int
+	// Wall is the time to deliver all k results; FirstResult the time to
+	// the first (the blocking-versus-incremental distinction of
+	// Figure 12(a)'s discussion).
+	Wall        time.Duration
+	FirstResult time.Duration
+	// Stats are the execution counters (tuples scanned, predicate
+	// evaluations and cost, ...), the quantities Example 4 analyzes.
+	Stats exec.Stats
+	// TopScore is the best result's score (for cross-plan agreement
+	// checks).
+	TopScore float64
+	// OpCounts are per-operator output cardinalities in pre-order
+	// (the λ_k the harness adds is entry 0).
+	OpCounts []exec.OpCount
+}
+
+// Runner executes plans against one generated database.
+type Runner struct {
+	DB *workload.DB
+	// SpinPerCostUnit makes predicate cost burn real CPU; 0 measures the
+	// engine overhead only. The figures use a moderate spin so that
+	// predicate cost c translates to wall time as in the paper's UDFs.
+	SpinPerCostUnit int
+}
+
+// env builds plans against the real tables.
+func (r *Runner) env() *optimizer.Env {
+	return &optimizer.Env{
+		Catalog: r.DB.Catalog,
+		Aliases: map[string]string{"a": "A", "b": "B", "c": "C"},
+	}
+}
+
+// Run builds the plan, wraps λ_k, executes it and reports a Measurement.
+func (r *Runner) Run(id PlanID, k int) (*Measurement, error) {
+	plan, err := BuildPlan(r.DB, id)
+	if err != nil {
+		return nil, err
+	}
+	return r.RunPlanNode(id, plan, k)
+}
+
+// RunPlanNode executes an already-built plan (topped with λ_k).
+func (r *Runner) RunPlanNode(id PlanID, plan *optimizer.PlanNode, k int) (*Measurement, error) {
+	annotateEval(r.DB, plan)
+	top := &optimizer.PlanNode{Kind: optimizer.KindLimit, K: k,
+		Children: []*optimizer.PlanNode{plan}}
+	op, err := top.Build(r.env())
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewContext(r.DB.Spec)
+	ctx.SpinPerCostUnit = r.SpinPerCostUnit
+
+	m := &Measurement{Plan: id, K: k}
+	start := time.Now()
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	for {
+		t, err := op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			break
+		}
+		if m.Results == 0 {
+			m.FirstResult = time.Since(start)
+			m.TopScore = t.Score
+		}
+		m.Results++
+	}
+	m.Wall = time.Since(start)
+	m.Stats = ctx.Stats
+	m.OpCounts = exec.CollectCounts(op)
+	return m, nil
+}
+
+// Series is one figure's data: a swept parameter and per-plan measurements.
+type Series struct {
+	Figure    string
+	Param     string
+	ParamVals []string
+	Plans     []PlanID
+	// Cells[plan][i] is the measurement at ParamVals[i]; nil when the
+	// combination was skipped (plan1 at s=1M, as in the paper).
+	Cells map[PlanID][]*Measurement
+}
+
+// Fprint renders the series as an aligned table of seconds (and predicate
+// evaluation counts), mirroring the paper's log-log plots as numbers.
+func (s *Series) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Figure %s — execution time (s) vs %s\n", s.Figure, s.Param)
+	fmt.Fprintf(w, "%-10s", s.Param)
+	for _, p := range s.Plans {
+		fmt.Fprintf(w, "%14s", p)
+	}
+	fmt.Fprintln(w)
+	for i, v := range s.ParamVals {
+		fmt.Fprintf(w, "%-10s", v)
+		for _, p := range s.Plans {
+			cell := s.Cells[p][i]
+			if cell == nil {
+				fmt.Fprintf(w, "%14s", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%14.4f", cell.Wall.Seconds())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "(predEvals)")
+	fmt.Fprintln(w)
+	for i, v := range s.ParamVals {
+		fmt.Fprintf(w, "%-10s", v)
+		for _, p := range s.Plans {
+			cell := s.Cells[p][i]
+			if cell == nil {
+				fmt.Fprintf(w, "%14s", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%14d", cell.Stats.PredEvals)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// SweepOpts controls a figure sweep.
+type SweepOpts struct {
+	Base workload.Config
+	// Spin is the wall-clock cost simulation (iterations per predicate
+	// cost unit).
+	Spin int
+	// Plans to run; defaults to AllPlans.
+	Plans []PlanID
+	// SkipPlan1Above omits plan1 for table sizes above this (the paper
+	// removed plan1 from Figure 12(d): "it takes days to finish").
+	SkipPlan1Above int
+	// MaxMaterialize skips plan1 cells whose expected materialize-then-
+	// sort input exceeds this many tuples (0 = never skip). The paper's
+	// PostgreSQL spilled such sorts to its 30 GB disk; this in-memory
+	// engine cannot, so infeasible cells are reported as "-" exactly as
+	// the paper treats plan1 in Figure 12(d).
+	MaxMaterialize float64
+	// SampleRatio / MinSampleRows override the estimator's sampling
+	// configuration for Figure 13 (0 keeps the defaults: 0.1%, 100-row
+	// floor). Larger samples tighten the estimates — the ablation
+	// EXPERIMENTS.md reports.
+	SampleRatio   float64
+	MinSampleRows int
+	// Progress, when non-nil, receives one line per finished cell.
+	Progress func(string)
+}
+
+// plan1SortInput estimates the tuples plan1's final sort materializes:
+// |σ(A)⨝σ(B)| · |C| · j = (s·fb)²·j · s·j.
+func plan1SortInput(cfg workload.Config) float64 {
+	s := float64(cfg.Size)
+	fb := cfg.BoolSelectivity
+	if fb == 0 {
+		fb = 0.4
+	}
+	ab := s * fb * s * fb * cfg.JoinSelectivity
+	return ab * s * cfg.JoinSelectivity
+}
+
+// skipPlan1 centralizes the two plan1 skip rules.
+func (o *SweepOpts) skipPlan1(cfg workload.Config) bool {
+	if o.SkipPlan1Above > 0 && cfg.Size > o.SkipPlan1Above {
+		return true
+	}
+	if o.MaxMaterialize > 0 && plan1SortInput(cfg) > o.MaxMaterialize {
+		return true
+	}
+	return false
+}
+
+func (o *SweepOpts) plans() []PlanID {
+	if len(o.Plans) == 0 {
+		return AllPlans
+	}
+	return o.Plans
+}
+
+func (o *SweepOpts) note(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Figure12a sweeps k (number of results), defaults s=100k, j=1e-4, c=1.
+func Figure12a(opts SweepOpts, ks []int) (*Series, error) {
+	s := newSeries("12(a)", "k", opts.plans())
+	db, err := workload.Build(opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	runner := &Runner{DB: db, SpinPerCostUnit: opts.Spin}
+	for _, k := range ks {
+		s.ParamVals = append(s.ParamVals, fmt.Sprint(k))
+		for _, p := range s.Plans {
+			if p == Plan1 && opts.skipPlan1(opts.Base) {
+				s.Cells[p] = append(s.Cells[p], nil)
+				opts.note("fig12a %s k=%d: skipped (sort input too large for memory)", p, k)
+				continue
+			}
+			m, err := runner.Run(p, k)
+			if err != nil {
+				return nil, fmt.Errorf("fig12a %s k=%d: %w", p, k, err)
+			}
+			s.Cells[p] = append(s.Cells[p], m)
+			opts.note("fig12a %s k=%d: %.3fs (first %.3fs)", p, k, m.Wall.Seconds(), m.FirstResult.Seconds())
+		}
+	}
+	return s, nil
+}
+
+// Figure12b sweeps the ranking-predicate cost c; k=10, s=100k, j=1e-4.
+func Figure12b(opts SweepOpts, costs []float64) (*Series, error) {
+	s := newSeries("12(b)", "c", opts.plans())
+	for _, c := range costs {
+		cfg := opts.Base
+		cfg.PredCost = c
+		db, err := workload.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		runner := &Runner{DB: db, SpinPerCostUnit: opts.Spin}
+		s.ParamVals = append(s.ParamVals, trimFloat(c))
+		for _, p := range s.Plans {
+			if p == Plan1 && opts.skipPlan1(cfg) {
+				s.Cells[p] = append(s.Cells[p], nil)
+				opts.note("fig12b %s c=%g: skipped (sort input too large for memory)", p, c)
+				continue
+			}
+			m, err := runner.Run(p, cfg.K)
+			if err != nil {
+				return nil, fmt.Errorf("fig12b %s c=%g: %w", p, c, err)
+			}
+			s.Cells[p] = append(s.Cells[p], m)
+			opts.note("fig12b %s c=%g: %.3fs (cost units %.0f)", p, c, m.Wall.Seconds(), m.Stats.PredCost)
+		}
+	}
+	return s, nil
+}
+
+// Figure12c sweeps the join selectivity j; k=10, s=100k, c=1.
+func Figure12c(opts SweepOpts, sels []float64) (*Series, error) {
+	s := newSeries("12(c)", "j", opts.plans())
+	for _, j := range sels {
+		cfg := opts.Base
+		cfg.JoinSelectivity = j
+		db, err := workload.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		runner := &Runner{DB: db, SpinPerCostUnit: opts.Spin}
+		s.ParamVals = append(s.ParamVals, trimFloat(j))
+		for _, p := range s.Plans {
+			if p == Plan1 && opts.skipPlan1(cfg) {
+				s.Cells[p] = append(s.Cells[p], nil)
+				opts.note("fig12c %s j=%g: skipped (sort input too large for memory)", p, j)
+				continue
+			}
+			m, err := runner.Run(p, cfg.K)
+			if err != nil {
+				return nil, fmt.Errorf("fig12c %s j=%g: %w", p, j, err)
+			}
+			s.Cells[p] = append(s.Cells[p], m)
+			opts.note("fig12c %s j=%g: %.3fs", p, j, m.Wall.Seconds())
+		}
+	}
+	return s, nil
+}
+
+// Figure12d sweeps the table size s; k=10, j=1e-4, c=1. plan1 is skipped
+// above SkipPlan1Above rows, as in the paper.
+func Figure12d(opts SweepOpts, sizes []int) (*Series, error) {
+	s := newSeries("12(d)", "s", opts.plans())
+	for _, size := range sizes {
+		cfg := opts.Base
+		cfg.Size = size
+		db, err := workload.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		runner := &Runner{DB: db, SpinPerCostUnit: opts.Spin}
+		s.ParamVals = append(s.ParamVals, fmt.Sprint(size))
+		for _, p := range s.Plans {
+			if p == Plan1 && opts.skipPlan1(cfg) {
+				s.Cells[p] = append(s.Cells[p], nil)
+				opts.note("fig12d %s s=%d: skipped (paper: off the scale)", p, size)
+				continue
+			}
+			m, err := runner.Run(p, cfg.K)
+			if err != nil {
+				return nil, fmt.Errorf("fig12d %s s=%d: %w", p, size, err)
+			}
+			s.Cells[p] = append(s.Cells[p], m)
+			opts.note("fig12d %s s=%d: %.3fs", p, size, m.Wall.Seconds())
+		}
+	}
+	return s, nil
+}
+
+func newSeries(fig, param string, plans []PlanID) *Series {
+	return &Series{
+		Figure: fig,
+		Param:  param,
+		Plans:  plans,
+		Cells:  map[PlanID][]*Measurement{},
+	}
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", f), "0"), ".")
+}

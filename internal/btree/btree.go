@@ -1,0 +1,279 @@
+// Package btree implements an in-memory B+tree mapping scalar keys to
+// tuple identifiers. It backs two kinds of secondary indexes:
+//
+//   - attribute indexes (ascending iteration; sort-merge joins, scan-based
+//     selection), and
+//   - rank indexes on ranking-predicate scores (descending iteration; the
+//     paper's rank-scan / idxScan_p operator).
+//
+// Duplicate keys are allowed; entries are totally ordered by (key, TID) so
+// iteration order is deterministic.
+package btree
+
+import (
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+// degree is the maximum number of entries in a node. Chosen for cache
+// friendliness; correctness does not depend on it.
+const degree = 64
+
+// Entry is one key → TID mapping.
+type Entry struct {
+	Key types.Value
+	TID schema.TID
+}
+
+// compareEntries orders entries by key then TID.
+func compareEntries(a, b Entry) int {
+	if c := types.Compare(a.Key, b.Key); c != 0 {
+		return c
+	}
+	switch {
+	case a.TID < b.TID:
+		return -1
+	case a.TID > b.TID:
+		return 1
+	default:
+		return 0
+	}
+}
+
+type node struct {
+	// entries holds the node's keys. For leaves these are the stored
+	// entries; for internal nodes entries[i] is the smallest entry of
+	// children[i+1]'s subtree (separator keys).
+	entries  []Entry
+	children []*node // nil for leaves
+	next     *node   // leaf-chain forward pointer
+	prev     *node   // leaf-chain backward pointer
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is the B+tree. The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{}}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// searchLeaf descends to the leaf that should contain e.
+func (t *Tree) searchLeaf(e Entry) *node {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[childIndex(n, e)]
+	}
+	return n
+}
+
+// childIndex picks the child slot to descend into for entry e: the first
+// child whose separator is strictly greater than e, i.e. upperBound.
+func childIndex(n *node, e Entry) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareEntries(n.entries[mid], e) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBound returns the first index i with entries[i] >= e.
+func lowerBound(entries []Entry, e Entry) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if compareEntries(entries[mid], e) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds an entry. Duplicate (key, TID) pairs are stored once.
+// Insertion splits full nodes preemptively on the way down, so no node ever
+// exceeds the degree.
+func (t *Tree) Insert(key types.Value, tid schema.TID) {
+	e := Entry{Key: key, TID: tid}
+	if len(t.root.entries) >= degree {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.splitChild(t.root, 0)
+	}
+	n := t.root
+	for !n.leaf() {
+		i := childIndex(n, e)
+		child := n.children[i]
+		if len(child.entries) >= degree {
+			t.splitChild(n, i)
+			// Re-pick: the split may route e to the new sibling.
+			i = childIndex(n, e)
+			child = n.children[i]
+		}
+		n = child
+	}
+	i := lowerBound(n.entries, e)
+	if i < len(n.entries) && compareEntries(n.entries[i], e) == 0 {
+		return // already present
+	}
+	n.entries = append(n.entries, Entry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = e
+	t.size++
+}
+
+// splitChild splits parent.children[i] in half, inserting the separator
+// into parent.
+func (t *Tree) splitChild(parent *node, i int) {
+	child := parent.children[i]
+	mid := len(child.entries) / 2
+	var sib *node
+	var sep Entry
+	if child.leaf() {
+		sib = &node{entries: append([]Entry(nil), child.entries[mid:]...)}
+		child.entries = child.entries[:mid:mid]
+		sep = sib.entries[0]
+		// Hook into leaf chain.
+		sib.next = child.next
+		if sib.next != nil {
+			sib.next.prev = sib
+		}
+		sib.prev = child
+		child.next = sib
+	} else {
+		sep = child.entries[mid]
+		sib = &node{
+			entries:  append([]Entry(nil), child.entries[mid+1:]...),
+			children: append([]*node(nil), child.children[mid+1:]...),
+		}
+		child.entries = child.entries[:mid:mid]
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	parent.entries = append(parent.entries, Entry{})
+	copy(parent.entries[i+1:], parent.entries[i:])
+	parent.entries[i] = sep
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = sib
+}
+
+// Delete removes the entry (key, tid) if present, reporting whether it was
+// found. Leaves are never merged: the engine's tables are append-only and
+// deletions only occur when indexes are rebuilt, so structural rebalancing
+// buys nothing here.
+func (t *Tree) Delete(key types.Value, tid schema.TID) bool {
+	e := Entry{Key: key, TID: tid}
+	leaf := t.searchLeaf(e)
+	i := lowerBound(leaf.entries, e)
+	if i >= len(leaf.entries) || compareEntries(leaf.entries[i], e) != 0 {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+	t.size--
+	return true
+}
+
+// firstLeaf returns the leftmost leaf.
+func (t *Tree) firstLeaf() *node {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n
+}
+
+// lastLeaf returns the rightmost leaf.
+func (t *Tree) lastLeaf() *node {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n
+}
+
+// Iterator walks entries in ascending or descending order.
+type Iterator struct {
+	leaf *node
+	idx  int
+	desc bool
+}
+
+// Ascend returns an iterator over all entries in ascending (key, TID) order.
+func (t *Tree) Ascend() *Iterator {
+	return &Iterator{leaf: t.firstLeaf(), idx: 0}
+}
+
+// Descend returns an iterator over all entries in descending (key, TID)
+// order. This is the access path of the rank-scan operator, which streams
+// tuples from the highest predicate score down.
+func (t *Tree) Descend() *Iterator {
+	leaf := t.lastLeaf()
+	return &Iterator{leaf: leaf, idx: len(leaf.entries) - 1, desc: true}
+}
+
+// SeekGE returns an ascending iterator positioned at the first entry with
+// key >= key (any TID).
+func (t *Tree) SeekGE(key types.Value) *Iterator {
+	e := Entry{Key: key, TID: 0}
+	leaf := t.searchLeaf(e)
+	i := lowerBound(leaf.entries, e)
+	it := &Iterator{leaf: leaf, idx: i}
+	it.normalizeForward()
+	return it
+}
+
+// normalizeForward advances past exhausted leaves.
+func (it *Iterator) normalizeForward() {
+	for it.leaf != nil && it.idx >= len(it.leaf.entries) {
+		it.leaf = it.leaf.next
+		it.idx = 0
+	}
+}
+
+// Next returns the next entry, or ok=false when exhausted.
+func (it *Iterator) Next() (Entry, bool) {
+	if it.desc {
+		for it.leaf != nil && it.idx < 0 {
+			it.leaf = it.leaf.prev
+			if it.leaf != nil {
+				it.idx = len(it.leaf.entries) - 1
+			}
+		}
+		if it.leaf == nil {
+			return Entry{}, false
+		}
+		e := it.leaf.entries[it.idx]
+		it.idx--
+		return e, true
+	}
+	it.normalizeForward()
+	if it.leaf == nil {
+		return Entry{}, false
+	}
+	e := it.leaf.entries[it.idx]
+	it.idx++
+	return e, true
+}
+
+// Height returns the tree height (1 for a single leaf); exposed for tests.
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,210 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+// model checks the tree against a sorted slice oracle.
+type modelEntry struct {
+	key float64
+	tid schema.TID
+}
+
+func buildBoth(keys []float64) (*Tree, []modelEntry) {
+	t := New()
+	var model []modelEntry
+	for i, k := range keys {
+		t.Insert(types.NewFloat(k), schema.TID(i))
+		model = append(model, modelEntry{k, schema.TID(i)})
+	}
+	sort.Slice(model, func(i, j int) bool {
+		if model[i].key != model[j].key {
+			return model[i].key < model[j].key
+		}
+		return model[i].tid < model[j].tid
+	})
+	return t, model
+}
+
+func TestAscendDescendSmall(t *testing.T) {
+	tr, model := buildBoth([]float64{5, 1, 3, 3, 2, 9, 0.5})
+	if tr.Len() != len(model) {
+		t.Fatalf("len %d, want %d", tr.Len(), len(model))
+	}
+	it := tr.Ascend()
+	for i := 0; ; i++ {
+		e, ok := it.Next()
+		if !ok {
+			if i != len(model) {
+				t.Fatalf("ascend stopped at %d, want %d", i, len(model))
+			}
+			break
+		}
+		if e.Key.Float() != model[i].key || e.TID != model[i].tid {
+			t.Fatalf("ascend[%d] = (%v,%d), want (%v,%d)", i, e.Key, e.TID, model[i].key, model[i].tid)
+		}
+	}
+	it = tr.Descend()
+	for i := len(model) - 1; ; i-- {
+		e, ok := it.Next()
+		if !ok {
+			if i != -1 {
+				t.Fatalf("descend stopped early")
+			}
+			break
+		}
+		if e.Key.Float() != model[i].key {
+			t.Fatalf("descend got %v, want %v", e.Key, model[i].key)
+		}
+	}
+}
+
+// TestRandomizedVsOracle drives large random insertions through splits and
+// verifies both iteration directions and SeekGE against the oracle.
+func TestRandomizedVsOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 5000
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = float64(r.Intn(500)) // heavy duplicates
+	}
+	tr, model := buildBoth(keys)
+	if tr.Len() != n {
+		t.Fatalf("len %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 2 {
+		t.Fatal("tree did not split; test ineffective")
+	}
+
+	i := 0
+	it := tr.Ascend()
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if e.Key.Float() != model[i].key || e.TID != model[i].tid {
+			t.Fatalf("ascend[%d] mismatch", i)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("ascend visited %d, want %d", i, n)
+	}
+
+	// SeekGE at random probes.
+	for probe := 0; probe < 200; probe++ {
+		k := float64(r.Intn(520)) - 10
+		it := tr.SeekGE(types.NewFloat(k))
+		// Oracle position: first model entry with key >= k.
+		pos := sort.Search(len(model), func(i int) bool { return model[i].key >= k })
+		e, ok := it.Next()
+		if pos == len(model) {
+			if ok {
+				t.Fatalf("SeekGE(%v) returned %v, want exhausted", k, e)
+			}
+			continue
+		}
+		if !ok || e.Key.Float() != model[pos].key {
+			t.Fatalf("SeekGE(%v) = %v, want key %v", k, e, model[pos].key)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _ := buildBoth([]float64{1, 2, 3, 4, 5})
+	if !tr.Delete(types.NewFloat(3), 2) {
+		t.Fatal("delete existing failed")
+	}
+	if tr.Delete(types.NewFloat(3), 2) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete(types.NewFloat(99), 0) {
+		t.Fatal("delete of absent key succeeded")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len %d after delete, want 4", tr.Len())
+	}
+	it := tr.Ascend()
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if e.Key.Float() == 3 {
+			t.Fatal("deleted key still present")
+		}
+	}
+}
+
+func TestDuplicateInsertIgnored(t *testing.T) {
+	tr := New()
+	tr.Insert(types.NewInt(1), 7)
+	tr.Insert(types.NewInt(1), 7)
+	if tr.Len() != 1 {
+		t.Fatalf("len %d, want 1", tr.Len())
+	}
+}
+
+// TestQuickInsertIterate is a property test: for any key multiset, the
+// ascending iteration equals the sorted oracle.
+func TestQuickInsertIterate(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		keys := make([]float64, len(raw))
+		for i, k := range raw {
+			keys[i] = float64(k % 1000)
+		}
+		tr, model := buildBoth(keys)
+		it := tr.Ascend()
+		for i := 0; ; i++ {
+			e, ok := it.Next()
+			if !ok {
+				return i == len(model)
+			}
+			if i >= len(model) || e.Key.Float() != model[i].key || e.TID != model[i].tid {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixedKeyKinds(t *testing.T) {
+	tr := New()
+	tr.Insert(types.NewString("b"), 1)
+	tr.Insert(types.NewString("a"), 2)
+	tr.Insert(types.NewString("c"), 3)
+	it := tr.Ascend()
+	var got []string
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, e.Key.Str())
+	}
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("string keys misordered: %v", got)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Ascend().Next(); ok {
+		t.Error("empty ascend yielded")
+	}
+	if _, ok := tr.Descend().Next(); ok {
+		t.Error("empty descend yielded")
+	}
+	if _, ok := tr.SeekGE(types.NewInt(0)).Next(); ok {
+		t.Error("empty seek yielded")
+	}
+}

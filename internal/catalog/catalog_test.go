@@ -1,0 +1,167 @@
+package catalog
+
+import (
+	"testing"
+
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+func demoTable(t *testing.T) (*Catalog, *TableMeta) {
+	t.Helper()
+	c := New()
+	tm, err := c.CreateTable("t", schema.NewSchema(
+		schema.Column{Name: "a", Kind: types.KindInt},
+		schema.Column{Name: "flag", Kind: types.KindBool},
+		schema.Column{Name: "score", Kind: types.KindFloat},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tm.Table.MustAppend([]types.Value{
+			types.NewInt(int64(i % 10)),
+			types.NewBool(i%5 < 2), // 40% true
+			types.NewFloat(float64(i) / 100),
+		})
+	}
+	return c, tm
+}
+
+func TestCatalogCRUD(t *testing.T) {
+	c, _ := demoTable(t)
+	if _, err := c.CreateTable("t", schema.NewSchema()); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := c.Table("T"); err != nil {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, err := c.Table("nope"); err == nil {
+		t.Error("missing table lookup succeeded")
+	}
+	if names := c.TableNames(); len(names) != 1 || names[0] != "t" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Error(err)
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Error("double drop succeeded")
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	_, tm := demoTable(t)
+	idx, err := tm.CreateIndex("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Tree.Len() != 100 {
+		t.Errorf("index has %d entries", idx.Tree.Len())
+	}
+	if tm.Index("A") == nil {
+		t.Error("index lookup should be case-insensitive")
+	}
+	if _, err := tm.CreateIndex("a"); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := tm.CreateIndex("zzz"); err == nil {
+		t.Error("index on missing column accepted")
+	}
+	// First entry has the smallest key.
+	e, ok := idx.Tree.Ascend().Next()
+	if !ok || e.Key.Int() != 0 {
+		t.Errorf("first key = %v", e.Key)
+	}
+}
+
+func TestRankIndex(t *testing.T) {
+	_, tm := demoTable(t)
+	ident := func(args []types.Value) float64 { f, _ := args[0].AsFloat(); return f }
+	ri, err := tm.CreateRankIndex("f", []string{"score"}, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Tree.Len() != 100 || len(ri.Scores) != 100 {
+		t.Error("rank index incomplete")
+	}
+	// Descending iteration starts at the best score (0.99).
+	e, ok := ri.Tree.Descend().Next()
+	if !ok || e.Key.Float() != 0.99 {
+		t.Errorf("top score = %v", e.Key)
+	}
+	if tm.RankIndex("F", []string{"SCORE"}) == nil {
+		t.Error("rank index lookup should be case-insensitive")
+	}
+	if tm.RankIndex("f", []string{"other"}) != nil {
+		t.Error("wrong-column lookup matched")
+	}
+	if _, err := tm.CreateRankIndex("f", []string{"score"}, ident); err == nil {
+		t.Error("duplicate rank index accepted")
+	}
+	if _, err := tm.CreateRankIndex("g", []string{"zzz"}, ident); err == nil {
+		t.Error("rank index on missing column accepted")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	_, tm := demoTable(t)
+	st := tm.Analyze()
+	if st.Rows != 100 {
+		t.Errorf("rows = %d", st.Rows)
+	}
+	a := st.Columns["a"]
+	if a.Distinct != 10 {
+		t.Errorf("distinct(a) = %d, want 10", a.Distinct)
+	}
+	flag := st.Columns["flag"]
+	if flag.TrueFraction != 0.4 {
+		t.Errorf("true fraction = %v, want 0.4", flag.TrueFraction)
+	}
+	if types.Compare(a.Min, types.NewInt(0)) != 0 || types.Compare(a.Max, types.NewInt(9)) != 0 {
+		t.Errorf("min/max = %v/%v", a.Min, a.Max)
+	}
+	// EnsureStats caches until the row count changes.
+	if tm.EnsureStats() != st {
+		t.Error("EnsureStats should reuse fresh stats")
+	}
+	tm.Table.MustAppend([]types.Value{types.NewInt(1), types.NewBool(true), types.NewFloat(0)})
+	if tm.EnsureStats() == st {
+		t.Error("EnsureStats should recompute after growth")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	_, tm := demoTable(t)
+	s := tm.BuildSample(0.1, 5)
+	if s.NumRows() != 10 {
+		t.Errorf("sample size %d, want 10", s.NumRows())
+	}
+	if tm.SampleRatio != 0.1 {
+		t.Errorf("ratio = %v", tm.SampleRatio)
+	}
+	// Floor kicks in.
+	s = tm.BuildSample(0.001, 7)
+	if s.NumRows() != 7 {
+		t.Errorf("floored sample size %d, want 7", s.NumRows())
+	}
+	// Sample larger than table is clamped.
+	s = tm.BuildSample(1.0, 500)
+	if s.NumRows() != tm.Table.NumRows() {
+		t.Errorf("clamped sample size %d", s.NumRows())
+	}
+	// Determinism.
+	a := tm.BuildSample(0.2, 1)
+	b := tm.BuildSample(0.2, 1)
+	if a.NumRows() != b.NumRows() {
+		t.Error("sampling not deterministic")
+	}
+	for i := 0; i < a.NumRows(); i++ {
+		ra, rb := a.Row(schema.TID(i)), b.Row(schema.TID(i))
+		for j := range ra {
+			if types.Compare(ra[j], rb[j]) != 0 {
+				t.Fatal("sampling not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,473 @@
+// Package engine ties the pieces together: catalog, SQL front end, scorer
+// registry, rank-aware optimizer, and executor. It is what the public
+// ranksql package wraps.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ranksql/internal/catalog"
+	"ranksql/internal/exec"
+	"ranksql/internal/expr"
+	"ranksql/internal/optimizer"
+	"ranksql/internal/rank"
+	"ranksql/internal/schema"
+	"ranksql/internal/sql"
+	"ranksql/internal/types"
+)
+
+// Scorer is a registered ranking function: the user-defined predicates of
+// the paper (cheap(h.price), close(h.addr, r.addr), ...).
+type Scorer struct {
+	// Fn computes the score from the argument values. Scores should lie
+	// in [0, MaxVal].
+	Fn rank.ScoreFn
+	// Cost is the per-evaluation cost in abstract units; it drives the
+	// optimizer's scheduling and, in spin mode, real CPU burn.
+	Cost float64
+	// MaxVal is the maximal possible score (1 when zero).
+	MaxVal float64
+}
+
+// DB is an in-memory RankSQL database.
+type DB struct {
+	Catalog *catalog.Catalog
+	scorers map[string]Scorer
+	// Options configure the optimizer; adjust before querying.
+	Options optimizer.Options
+	// SpinPerCostUnit burns CPU per predicate cost unit during execution
+	// (0 = accounting only).
+	SpinPerCostUnit int
+}
+
+// New creates an empty database with default optimizer options.
+func New() *DB {
+	return &DB{
+		Catalog: catalog.New(),
+		scorers: map[string]Scorer{},
+		Options: optimizer.DefaultOptions(),
+	}
+}
+
+// RegisterScorer registers a ranking function under a name usable in
+// ORDER BY clauses and CREATE RANK INDEX statements.
+func (db *DB) RegisterScorer(name string, s Scorer) error {
+	key := strings.ToLower(name)
+	if key == "" {
+		return fmt.Errorf("engine: scorer name must not be empty")
+	}
+	if _, dup := db.scorers[key]; dup {
+		return fmt.Errorf("engine: scorer %q already registered", name)
+	}
+	if s.Fn == nil {
+		return fmt.Errorf("engine: scorer %q has no function", name)
+	}
+	if s.MaxVal == 0 {
+		s.MaxVal = 1
+	}
+	db.scorers[key] = s
+	return nil
+}
+
+// Scorer looks up a registered scorer.
+func (db *DB) Scorer(name string) (Scorer, bool) {
+	s, ok := db.scorers[strings.ToLower(name)]
+	return s, ok
+}
+
+// Result reports the effect of a DDL/DML statement.
+type Result struct {
+	// RowsAffected counts inserted rows.
+	RowsAffected int
+	// Message describes DDL effects.
+	Message string
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	// Data[i] is one output row.
+	Data [][]types.Value
+	// Scores[i] is the row's final score under the query's ranking
+	// function (0 for Boolean-only queries).
+	Scores []float64
+	// Stats are the execution counters.
+	Stats exec.Stats
+	// Plan is the executed physical plan, annotated with estimates.
+	Plan *optimizer.PlanNode
+	// ExecTree renders the executed operator tree with per-operator
+	// output counts (EXPLAIN ANALYZE style).
+	ExecTree string
+}
+
+// Exec runs any statement; for SELECT it returns (nil, *Rows via Query).
+func (db *DB) Exec(src string) (*Result, error) {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *sql.CreateTableStmt:
+		cols := make([]schema.Column, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = schema.Column{Name: c.Name, Kind: c.Kind}
+		}
+		if _, err := db.Catalog.CreateTable(s.Name, schema.NewSchema(cols...)); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "CREATE TABLE"}, nil
+	case *sql.CreateIndexStmt:
+		tm, err := db.Catalog.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tm.CreateIndex(s.Column); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "CREATE INDEX"}, nil
+	case *sql.CreateRankIndexStmt:
+		tm, err := db.Catalog.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		sc, ok := db.Scorer(s.Scorer)
+		if !ok {
+			return nil, fmt.Errorf("engine: scorer %q is not registered", s.Scorer)
+		}
+		if _, err := tm.CreateRankIndex(s.Scorer, s.Columns, sc.Fn); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "CREATE RANK INDEX"}, nil
+	case *sql.InsertStmt:
+		tm, err := db.Catalog.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range s.Rows {
+			if _, err := tm.Table.Append(row); err != nil {
+				return nil, err
+			}
+		}
+		// Inserted rows invalidate derived structures.
+		tm.Stats = nil
+		tm.Sample = nil
+		if len(tm.Indexes) > 0 || len(tm.RankIndexes) > 0 {
+			if err := db.RebuildIndexes(tm); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{RowsAffected: len(s.Rows)}, nil
+	case *sql.DropTableStmt:
+		if err := db.Catalog.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "DROP TABLE"}, nil
+	case *sql.SelectStmt, *sql.SetOpStmt:
+		return nil, fmt.Errorf("engine: use Query for SELECT statements")
+	default:
+		return nil, fmt.Errorf("engine: unhandled statement %T", st)
+	}
+}
+
+// RebuildIndexes regenerates secondary structures (attribute and rank
+// indexes) after rows were appended. Simple and correct; bulk loads
+// should create indexes last.
+func (db *DB) RebuildIndexes(tm *catalog.TableMeta) error {
+	cols := make([]string, 0, len(tm.Indexes))
+	for _, idx := range tm.Indexes {
+		cols = append(cols, idx.Column)
+	}
+	tm.Indexes = map[string]*catalog.Index{}
+	for _, c := range cols {
+		if _, err := tm.CreateIndex(c); err != nil {
+			return err
+		}
+	}
+	type ri struct {
+		scorer string
+		cols   []string
+	}
+	var ris []ri
+	for _, r := range tm.RankIndexes {
+		ris = append(ris, ri{r.Scorer, r.Columns})
+	}
+	tm.RankIndexes = map[string]*catalog.RankIndex{}
+	for _, r := range ris {
+		sc, ok := db.Scorer(r.scorer)
+		if !ok {
+			return fmt.Errorf("engine: scorer %q vanished", r.scorer)
+		}
+		if _, err := tm.CreateRankIndex(r.scorer, r.cols, sc.Fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query parses, plans, optimizes and executes a SELECT or set-operation
+// statement.
+func (db *DB) Query(src string) (*Rows, error) {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *sql.SelectStmt:
+		return db.runSelect(s)
+	case *sql.SetOpStmt:
+		return db.runSetOp(s)
+	default:
+		return nil, fmt.Errorf("engine: Query expects a SELECT statement")
+	}
+}
+
+// Explain returns the optimized plan for a SELECT without executing it.
+func (db *DB) Explain(src string) (string, error) {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	switch s := st.(type) {
+	case *sql.SelectStmt:
+		q, _, err := db.bind(s)
+		if err != nil {
+			return "", err
+		}
+		res, err := optimizer.Optimize(q, db.Options)
+		if err != nil {
+			return "", err
+		}
+		return res.Plan.String(), nil
+	case *sql.SetOpStmt:
+		return db.explainSetOp(s)
+	default:
+		return "", fmt.Errorf("engine: Explain expects a SELECT statement")
+	}
+}
+
+// bind turns a parsed SELECT into an optimizer query plus its spec.
+func (db *DB) bind(sel *sql.SelectStmt) (*optimizer.Query, *rank.Spec, error) {
+	if len(sel.Tables) == 0 {
+		return nil, nil, fmt.Errorf("engine: SELECT requires a FROM clause")
+	}
+	q := &optimizer.Query{
+		Catalog: db.Catalog,
+		Where:   sel.Where,
+		K:       sel.Limit,
+	}
+	for _, tr := range sel.Tables {
+		if _, err := db.Catalog.Table(tr.Name); err != nil {
+			return nil, nil, err
+		}
+		q.Tables = append(q.Tables, optimizer.TableRef{Alias: tr.Alias, Name: tr.Name})
+	}
+	aliasKnown := map[string]bool{}
+	for _, tr := range q.Tables {
+		aliasKnown[strings.ToLower(tr.Alias)] = true
+	}
+
+	// Build the ranking spec from the ORDER BY terms.
+	var preds []*rank.Predicate
+	var weights []float64
+	for i, term := range sel.Order {
+		var p *rank.Predicate
+		switch {
+		case term.Scorer != "":
+			sc, ok := db.Scorer(term.Scorer)
+			if !ok {
+				return nil, nil, fmt.Errorf("engine: scorer %q is not registered", term.Scorer)
+			}
+			args := make([]rank.ColumnRef, len(term.Args))
+			for j, a := range term.Args {
+				table := a.Table
+				if table == "" {
+					t, err := db.resolveColumnTable(q.Tables, a.Name)
+					if err != nil {
+						return nil, nil, err
+					}
+					table = t
+				} else if !aliasKnown[strings.ToLower(table)] {
+					return nil, nil, fmt.Errorf("engine: ORDER BY references unknown table %q", table)
+				}
+				args[j] = rank.ColumnRef{Table: table, Column: a.Name}
+			}
+			p = &rank.Predicate{
+				Index:  i,
+				Name:   fmt.Sprintf("%s(%s)", term.Scorer, joinArgs(args)),
+				Scorer: term.Scorer,
+				Args:   args,
+				Fn:     sc.Fn,
+				Cost:   sc.Cost,
+				MaxVal: sc.MaxVal,
+			}
+		default:
+			// Opaque arithmetic term: one predicate whose arguments are
+			// the referenced columns and whose function evaluates the
+			// expression. Its maximum is unknown, so the upper bound is
+			// +Inf — semantically correct, and it steers the optimizer
+			// to evaluate it via sorting, never speculatively.
+			p2, err := db.opaquePredicate(i, term, q.Tables)
+			if err != nil {
+				return nil, nil, err
+			}
+			p = p2
+		}
+		preds = append(preds, p)
+		weights = append(weights, term.Weight)
+	}
+	var spec *rank.Spec
+	if len(preds) == 0 {
+		spec = rank.EmptySpec()
+	} else {
+		uniform := true
+		for _, w := range weights {
+			if w != 1 {
+				uniform = false
+			}
+		}
+		var f rank.ScoringFunc
+		if uniform {
+			f = rank.NewSum(len(preds))
+		} else {
+			f = rank.NewWeightedSum(weights)
+		}
+		s, err := rank.NewSpec(f, preds)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec = s
+	}
+	q.Spec = spec
+	q.Projection = sel.Projection
+	return q, spec, nil
+}
+
+// resolveColumnTable finds the unique table containing an unqualified
+// column.
+func (db *DB) resolveColumnTable(tables []optimizer.TableRef, col string) (string, error) {
+	found := ""
+	for _, tr := range tables {
+		tm, err := db.Catalog.Table(tr.Name)
+		if err != nil {
+			return "", err
+		}
+		if tm.Table.Schema.ColumnIndex("", col) >= 0 {
+			if found != "" {
+				return "", fmt.Errorf("engine: column %q is ambiguous", col)
+			}
+			found = tr.Alias
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("engine: column %q not found in any FROM table", col)
+	}
+	return found, nil
+}
+
+func joinArgs(args []rank.ColumnRef) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// opaquePredicate wraps an arbitrary ORDER BY term as a ranking predicate.
+func (db *DB) opaquePredicate(index int, term sql.OrderTerm, tables []optimizer.TableRef) (*rank.Predicate, error) {
+	cols := expr.Columns(term.Expr)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("engine: ORDER BY term %s references no columns", term.Expr)
+	}
+	args := make([]rank.ColumnRef, len(cols))
+	for i, c := range cols {
+		table := c.Table
+		if table == "" {
+			t, err := db.resolveColumnTable(tables, c.Name)
+			if err != nil {
+				return nil, err
+			}
+			table = t
+		}
+		args[i] = rank.ColumnRef{Table: table, Column: c.Name}
+	}
+	// The function evaluates the expression against a synthetic one-row
+	// tuple whose schema is exactly the argument columns.
+	argSchema := make([]schema.Column, len(args))
+	for i, a := range args {
+		argSchema[i] = schema.Column{Table: a.Table, Name: a.Column}
+	}
+	bound := expr.Clone(term.Expr)
+	if err := expr.Bind(bound, schema.NewSchema(argSchema...)); err != nil {
+		return nil, err
+	}
+	fn := func(vals []types.Value) float64 {
+		t := &schema.Tuple{Values: vals}
+		v, err := bound.Eval(t)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		f, _ := v.AsFloat()
+		return f
+	}
+	return &rank.Predicate{
+		Index:  index,
+		Name:   fmt.Sprintf("expr(%s)", term.Expr),
+		Args:   args,
+		Fn:     fn,
+		Cost:   0.1,
+		MaxVal: math.Inf(1),
+	}, nil
+}
+
+// runSelect optimizes and executes a bound SELECT.
+func (db *DB) runSelect(sel *sql.SelectStmt) (*Rows, error) {
+	q, spec, err := db.bind(sel)
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimizer.Optimize(q, db.Options)
+	if err != nil {
+		return nil, err
+	}
+	op, err := res.Plan.Build(res.Env)
+	if err != nil {
+		return nil, err
+	}
+	// Apply the projection at the very top.
+	if len(sel.Projection) > 0 {
+		idx := make([]int, len(sel.Projection))
+		for i, c := range sel.Projection {
+			j := op.Schema().ColumnIndex(c.Table, c.Name)
+			if j == -1 {
+				return nil, fmt.Errorf("engine: projected column %s not found", c)
+			}
+			if j == -2 {
+				return nil, fmt.Errorf("engine: projected column %s is ambiguous", c)
+			}
+			idx[i] = j
+		}
+		p, err := exec.NewProject(op, idx)
+		if err != nil {
+			return nil, err
+		}
+		op = p
+	}
+
+	ctx := exec.NewContext(spec)
+	ctx.SpinPerCostUnit = db.SpinPerCostUnit
+	tuples, err := exec.Run(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	rows := &Rows{Plan: res.Plan, Stats: ctx.Stats, ExecTree: exec.FormatTree(op)}
+	for _, c := range op.Schema().Columns {
+		rows.Columns = append(rows.Columns, c.QualifiedName())
+	}
+	for _, t := range tuples {
+		rows.Data = append(rows.Data, t.Values)
+		rows.Scores = append(rows.Scores, t.Score)
+	}
+	return rows, nil
+}

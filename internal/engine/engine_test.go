@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"ranksql/internal/types"
+)
+
+// tripDB builds the Example 1 database: hotels, restaurants, museums with
+// the cheap/close/related scorers.
+func tripDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec := func(s string) {
+		t.Helper()
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	mustExec(`CREATE TABLE Hotel (name TEXT, price FLOAT, addr INT)`)
+	mustExec(`CREATE TABLE Restaurant (name TEXT, cuisine TEXT, price FLOAT, addr INT, area INT)`)
+	mustExec(`CREATE TABLE Museum (name TEXT, collection TEXT, area INT)`)
+
+	// Scorers: cheap prefers low price; close prefers nearby addresses;
+	// related prefers dinosaur collections.
+	if err := db.RegisterScorer("cheap", Scorer{
+		Fn: func(args []types.Value) float64 {
+			p, _ := args[0].AsFloat()
+			return math.Max(0, (200-p)/200)
+		},
+		Cost: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterScorer("close", Scorer{
+		Fn: func(args []types.Value) float64 {
+			a, _ := args[0].AsFloat()
+			b, _ := args[1].AsFloat()
+			d := math.Abs(a - b)
+			return 1 / (1 + d/10)
+		},
+		Cost: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterScorer("related", Scorer{
+		Fn: func(args []types.Value) float64 {
+			if strings.Contains(strings.ToLower(args[0].Str()), "dinosaur") {
+				return 1
+			}
+			return 0.2
+		},
+		Cost: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	hotels := []string{
+		`('Grand', 120, 10)`, `('Budget', 40, 55)`, `('Plaza', 90, 22)`,
+		`('Inn', 60, 31)`, `('Suites', 150, 12)`,
+	}
+	mustExec(`INSERT INTO Hotel VALUES ` + strings.Join(hotels, ", "))
+	rests := []string{
+		`('Roma', 'Italian', 35, 12, 1)`, `('Napoli', 'Italian', 50, 30, 2)`,
+		`('Wok', 'Chinese', 25, 14, 1)`, `('Trattoria', 'Italian', 28, 52, 3)`,
+		`('Bistro', 'French', 45, 20, 2)`,
+	}
+	mustExec(`INSERT INTO Restaurant VALUES ` + strings.Join(rests, ", "))
+	museums := []string{
+		`('Natural History', 'dinosaur fossils', 1)`, `('Modern Art', 'paintings', 2)`,
+		`('Science', 'dinosaur eggs and robots', 3)`, `('City', 'history', 1)`,
+	}
+	mustExec(`INSERT INTO Museum VALUES ` + strings.Join(museums, ", "))
+	return db
+}
+
+const tripQuery = `
+	SELECT h.name, r.name, m.name
+	FROM Hotel h, Restaurant r, Museum m
+	WHERE r.cuisine = 'Italian' AND h.price + r.price < 100 AND r.area = m.area
+	ORDER BY cheap(h.price) + close(h.addr, r.addr) + related(m.collection)
+	LIMIT 3`
+
+// TestExample1TripQuery runs the paper's motivating query end to end.
+func TestExample1TripQuery(t *testing.T) {
+	db := tripDB(t)
+	rows, err := db.Query(tripQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) == 0 {
+		t.Fatal("no results")
+	}
+	if len(rows.Data) > 3 {
+		t.Fatalf("LIMIT 3 returned %d rows", len(rows.Data))
+	}
+	// Scores must be non-increasing.
+	for i := 1; i < len(rows.Scores); i++ {
+		if rows.Scores[i] > rows.Scores[i-1]+1e-9 {
+			t.Errorf("scores not ranked: %v", rows.Scores)
+		}
+	}
+	// Each result must satisfy the Boolean conditions; verify via a
+	// Boolean-only query.
+	all, err := db.Query(`SELECT h.name, r.name, m.name FROM Hotel h, Restaurant r, Museum m
+		WHERE r.cuisine = 'Italian' AND h.price + r.price < 100 AND r.area = m.area`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{}
+	for _, row := range all.Data {
+		valid[fmt.Sprint(row)] = true
+	}
+	for _, row := range rows.Data {
+		if !valid[fmt.Sprint(row)] {
+			t.Errorf("result %v does not satisfy the Boolean conditions", row)
+		}
+	}
+}
+
+// TestTripQueryMatchesNaive cross-checks the optimizer's answer against
+// the same query answered with a huge LIMIT and manual sorting.
+func TestTripQueryMatchesNaive(t *testing.T) {
+	db := tripDB(t)
+	top, err := db.Query(tripQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := db.Query(strings.Replace(tripQuery, "LIMIT 3", "LIMIT 1000", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range top.Scores {
+		if math.Abs(top.Scores[i]-all.Scores[i]) > 1e-9 {
+			t.Errorf("top-3 scores %v disagree with full ranking %v", top.Scores, all.Scores[:3])
+			break
+		}
+	}
+}
+
+// TestWeightedOrderBy exercises weighted scoring functions.
+func TestWeightedOrderBy(t *testing.T) {
+	db := tripDB(t)
+	rows, err := db.Query(`SELECT h.name FROM Hotel h
+		ORDER BY 2 * cheap(h.price) LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows.Data))
+	}
+	// Cheapest hotel is Budget (40), then Inn (60).
+	if rows.Data[0][0].Str() != "Budget" || rows.Data[1][0].Str() != "Inn" {
+		t.Errorf("weighted order wrong: %v", rows.Data)
+	}
+}
+
+// TestOpaqueOrderBy uses a plain arithmetic ORDER BY expression (no
+// registered scorer), which becomes an opaque ranking predicate.
+func TestOpaqueOrderBy(t *testing.T) {
+	db := tripDB(t)
+	rows, err := db.Query(`SELECT h.name FROM Hotel h ORDER BY (200 - h.price) * 0.2 LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Str() != "Budget" {
+		t.Errorf("opaque ORDER BY picked %v, want Budget", rows.Data)
+	}
+}
+
+// TestBooleanOnlyQuery checks plain SPJ queries still work.
+func TestBooleanOnlyQuery(t *testing.T) {
+	db := tripDB(t)
+	rows, err := db.Query(`SELECT name FROM Hotel WHERE price < 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 {
+		t.Errorf("got %d hotels under 100, want 3: %v", len(rows.Data), rows.Data)
+	}
+}
+
+// TestRankIndexDDL creates a rank index via SQL and confirms the optimizer
+// can use it (plan mentions idxScan of the scorer).
+func TestRankIndexDDL(t *testing.T) {
+	db := tripDB(t)
+	if _, err := db.Exec(`CREATE RANK INDEX ON Hotel (cheap(price))`); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.Explain(`SELECT h.name FROM Hotel h ORDER BY cheap(h.price) LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "idxScan_cheap") {
+		t.Errorf("plan does not use the rank index:\n%s", plan)
+	}
+}
+
+// TestExplain returns a readable plan.
+func TestExplain(t *testing.T) {
+	db := tripDB(t)
+	plan, err := db.Explain(tripQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"limit(3)", "card=", "cost="} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+// TestErrors exercises the error paths.
+func TestErrors(t *testing.T) {
+	db := tripDB(t)
+	cases := []string{
+		`SELECT * FROM NoSuchTable`,
+		`SELECT nosuchcol FROM Hotel`,
+		`SELECT name FROM Hotel ORDER BY unregistered(price) LIMIT 1`,
+		`SELECT name FROM Hotel ORDER BY cheap(price) ASC LIMIT 1`,
+		`SELECT * FROM`,
+		`CREATE TABLE Hotel (x INT)`, // duplicate
+		`INSERT INTO Hotel VALUES (1)`,
+	}
+	for _, c := range cases {
+		_, qerr := db.Query(c)
+		_, xerr := db.Exec(c)
+		if qerr == nil && xerr == nil {
+			t.Errorf("no error for %q", c)
+		}
+	}
+}
+
+// TestInsertRebuildsIndexes ensures inserts keep indexes consistent.
+func TestInsertRebuildsIndexes(t *testing.T) {
+	db := tripDB(t)
+	if _, err := db.Exec(`CREATE RANK INDEX ON Hotel (cheap(price))`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO Hotel VALUES ('Hostel', 10, 70)`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(`SELECT h.name FROM Hotel h ORDER BY cheap(h.price) LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].Str() != "Hostel" {
+		t.Errorf("rank index stale after insert: top = %v", rows.Data[0])
+	}
+}

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"ranksql/internal/exec"
+	"ranksql/internal/optimizer"
+	"ranksql/internal/rank"
+	"ranksql/internal/sql"
+)
+
+// Set-operation queries (`SELECT ... UNION|INTERSECT|EXCEPT SELECT ...
+// ORDER BY F LIMIT k`) execute with the rank-aware set operators of the
+// algebra (Figure 3): each operand is optimized independently into a
+// ranked plan for its own relations, and the set operator merges the two
+// ranked streams incrementally.
+//
+// The scoring function's predicates are resolved per operand by column
+// name (the operands are union-compatible), so each side can evaluate —
+// and the optimizer can rank-scan or schedule — every predicate on its own
+// columns.
+
+// sideQuery binds one operand with predicates re-qualified to its tables.
+func (db *DB) sideQuery(sel *sql.SelectStmt, terms []sql.OrderTerm) (*optimizer.Query, *rank.Spec, error) {
+	side := &sql.SelectStmt{
+		Projection: sel.Projection,
+		Tables:     sel.Tables,
+		Where:      sel.Where,
+		Order:      terms,
+		Limit:      0,
+	}
+	return db.bind(side)
+}
+
+// runSetOp plans and executes a set-operation statement.
+func (db *DB) runSetOp(st *sql.SetOpStmt) (*Rows, error) {
+	lop, rop, spec, err := db.buildSetOp(st)
+	if err != nil {
+		return nil, err
+	}
+	var root exec.Operator
+	switch st.Kind {
+	case sql.SetUnion:
+		root, err = exec.NewRankUnion(lop, rop)
+	case sql.SetIntersect:
+		root, err = exec.NewRankIntersect(lop, rop)
+	default:
+		root, err = exec.NewRankDiff(lop, rop)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if st.Limit > 0 {
+		root = exec.NewLimit(root, st.Limit)
+	}
+
+	ctx := exec.NewContext(spec)
+	ctx.SpinPerCostUnit = db.SpinPerCostUnit
+	tuples, err := exec.Run(ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	rows := &Rows{Stats: ctx.Stats, ExecTree: exec.FormatTree(root)}
+	for _, c := range root.Schema().Columns {
+		rows.Columns = append(rows.Columns, c.QualifiedName())
+	}
+	for _, t := range tuples {
+		rows.Data = append(rows.Data, t.Values)
+		rows.Scores = append(rows.Scores, t.Score)
+	}
+	return rows, nil
+}
+
+// buildSetOp optimizes both operands and returns their executable roots
+// (with per-side projections applied) plus the shared ranking spec.
+func (db *DB) buildSetOp(st *sql.SetOpStmt) (lop, rop exec.Operator, spec *rank.Spec, err error) {
+	lq, lspec, err := db.sideQuery(st.L, st.Order)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("engine: left operand: %w", err)
+	}
+	rq, _, err := db.sideQuery(st.R, st.Order)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("engine: right operand: %w", err)
+	}
+
+	build := func(q *optimizer.Query, sel *sql.SelectStmt) (exec.Operator, error) {
+		res, err := optimizer.Optimize(q, db.Options)
+		if err != nil {
+			return nil, err
+		}
+		op, err := res.Plan.Build(res.Env)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel.Projection) > 0 {
+			idx := make([]int, len(sel.Projection))
+			for i, c := range sel.Projection {
+				j := op.Schema().ColumnIndex(c.Table, c.Name)
+				if j < 0 {
+					return nil, fmt.Errorf("engine: projected column %s unresolved", c)
+				}
+				idx[i] = j
+			}
+			return exec.NewProject(op, idx)
+		}
+		return op, nil
+	}
+	lop, err = build(lq, st.L)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rop, err = build(rq, st.R)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ls, rs := lop.Schema(), rop.Schema()
+	if ls.Len() != rs.Len() {
+		return nil, nil, nil, fmt.Errorf("engine: %s operands have %d vs %d columns",
+			st.Kind, ls.Len(), rs.Len())
+	}
+	for i := range ls.Columns {
+		if ls.Columns[i].Kind != rs.Columns[i].Kind {
+			return nil, nil, nil, fmt.Errorf("engine: %s operands disagree on column %d type (%s vs %s)",
+				st.Kind, i, ls.Columns[i].Kind, rs.Columns[i].Kind)
+		}
+	}
+	return lop, rop, lspec, nil
+}
+
+// explainSetOp renders the plan of a set-operation statement.
+func (db *DB) explainSetOp(st *sql.SetOpStmt) (string, error) {
+	lq, _, err := db.sideQuery(st.L, st.Order)
+	if err != nil {
+		return "", err
+	}
+	rq, _, err := db.sideQuery(st.R, st.Order)
+	if err != nil {
+		return "", err
+	}
+	lres, err := optimizer.Optimize(lq, db.Options)
+	if err != nil {
+		return "", err
+	}
+	rres, err := optimizer.Optimize(rq, db.Options)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if st.Limit > 0 {
+		fmt.Fprintf(&b, "limit(%d)\n", st.Limit)
+	}
+	fmt.Fprintf(&b, "rank%s\n", strings.Title(strings.ToLower(st.Kind.String())))
+	b.WriteString(indent(lres.Plan.String(), "  "))
+	b.WriteString(indent(rres.Plan.String(), "  "))
+	return b.String(), nil
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pad + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,243 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"ranksql/internal/expr"
+	"ranksql/internal/rank"
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+// TestHRJNResidualCondition: HRJN with an extra non-equi condition over
+// the concatenated schema filters pairs and stays ranked.
+func TestHRJNResidualCondition(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	lt := randTable(r, "L", 60, 5, 1)
+	rt := randTable(r, "R", 60, 5, 1)
+	preds := []*rank.Predicate{
+		{Index: 0, Args: []rank.ColumnRef{{Table: "L", Column: "p1"}}, Fn: identFn, Cost: 1},
+		{Index: 1, Args: []rank.ColumnRef{{Table: "R", Column: "p1"}}, Fn: identFn, Cost: 1},
+	}
+	spec := rank.MustSpec(rank.NewSum(2), preds)
+	ctx := NewContext(spec)
+	l, _ := NewRank(NewSeqScan(lt, "L"), preds[0])
+	rr, _ := NewRank(NewSeqScan(rt, "R"), preds[1])
+	residual := expr.Gt(expr.NewCol("L", "p1"), expr.NewCol("R", "p1"))
+	j, err := NewHRJN(l, rr, expr.NewCol("L", "k"), expr.NewCol("R", "k"), residual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle count.
+	want := 0
+	lt.Scan(func(_ schema.TID, lrow []types.Value) bool {
+		rt.Scan(func(_ schema.TID, rrow []types.Value) bool {
+			lf, _ := lrow[1].AsFloat()
+			rf, _ := rrow[1].AsFloat()
+			if types.Equal(lrow[0], rrow[0]) && lf > rf {
+				want++
+			}
+			return true
+		})
+		return true
+	})
+	if len(out) != want {
+		t.Errorf("residual HRJN returned %d rows, want %d", len(out), want)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Score > out[i-1].Score+1e-9 {
+			t.Fatal("residual HRJN output unranked")
+		}
+	}
+}
+
+// TestRankScanFusedSelection: the scan-based selection of §4.2 — a
+// condition evaluated during the rank-scan — matches filter-above-scan.
+func TestRankScanFusedSelection(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	tbl := randTable(r, "T", 80, 10, 1)
+	spec := tableSpec("T", 1)
+	cond := expr.Gt(expr.NewCol("T", "k"), expr.NewConst(types.NewInt(4)))
+
+	ctx1 := NewContext(spec)
+	fused, err := NewRankScan(tbl, "T", spec.Preds[0], nil, expr.Clone(cond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(ctx1, fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2 := NewContext(spec)
+	plain, err := NewRankScan(tbl, "T", spec.Preds[0], nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFilter(plain, expr.Clone(cond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ctx2, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("fused %d rows vs filtered %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score {
+			t.Fatalf("row %d: fused score %v vs filtered %v", i, a[i].Score, b[i].Score)
+		}
+	}
+}
+
+// TestSortColumnDesc: descending column sorts order correctly.
+func TestSortColumnDesc(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	tbl := randTable(r, "T", 50, 20, 1)
+	spec := tableSpec("T", 1)
+	ctx := NewContext(spec)
+	s, err := NewSortColumn(NewSeqScan(tbl, "T"), "T", "k", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out); i++ {
+		if types.Compare(out[i].Values[0], out[i-1].Values[0]) > 0 {
+			t.Fatal("descending sort violated")
+		}
+	}
+}
+
+// TestHashJoinResidual: classic hash join with a residual condition.
+func TestHashJoinResidual(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	lt := randTable(r, "L", 50, 5, 1)
+	rt := randTable(r, "R", 50, 5, 1)
+	spec := rank.EmptySpec()
+	ctx := NewContext(spec)
+	residual := expr.Lt(expr.NewCol("L", "p1"), expr.NewCol("R", "p1"))
+	hj, err := NewHashJoin(NewSeqScan(lt, "L"), NewSeqScan(rt, "R"),
+		expr.NewCol("L", "k"), expr.NewCol("R", "k"), residual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(ctx, hj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	lt.Scan(func(_ schema.TID, lrow []types.Value) bool {
+		rt.Scan(func(_ schema.TID, rrow []types.Value) bool {
+			lf, _ := lrow[1].AsFloat()
+			rf, _ := rrow[1].AsFloat()
+			if types.Equal(lrow[0], rrow[0]) && lf < rf {
+				want++
+			}
+			return true
+		})
+		return true
+	})
+	if len(out) != want {
+		t.Errorf("hash join with residual: %d rows, want %d", len(out), want)
+	}
+}
+
+// TestEmptyInputs: every operator behaves on empty inputs.
+func TestEmptyInputs(t *testing.T) {
+	empty := randTable(rand.New(rand.NewSource(0)), "T", 0, 5, 2)
+	other := randTable(rand.New(rand.NewSource(1)), "U", 10, 5, 2)
+	spec := tableSpec("T", 2)
+
+	run := func(name string, build func() (Operator, error)) {
+		t.Helper()
+		op, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ctx := NewContext(spec)
+		out, err := Run(ctx, op)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		_ = out
+	}
+	run("mu", func() (Operator, error) { return NewRank(NewSeqScan(empty, "T"), spec.Preds[0]) })
+	run("sortScore", func() (Operator, error) { return NewSortScore(NewSeqScan(empty, "T")), nil })
+	run("hrjn-empty-left", func() (Operator, error) {
+		return NewHRJN(NewSeqScan(empty, "T"), NewSeqScan(other, "U"),
+			expr.NewCol("T", "k"), expr.NewCol("U", "k"), nil)
+	})
+	run("hrjn-empty-right", func() (Operator, error) {
+		return NewHRJN(NewSeqScan(other, "U"), NewSeqScan(empty, "T"),
+			expr.NewCol("U", "k"), expr.NewCol("T", "k"), nil)
+	})
+	run("union-empty", func() (Operator, error) {
+		return NewRankUnion(NewSeqScan(empty, "T"), NewSeqScan(empty, "T"))
+	})
+	run("intersect-one-empty", func() (Operator, error) {
+		e := NewSeqScan(empty, "T")
+		o := NewSeqScan(other, "U")
+		// Schemas are union-compatible by construction (same widths).
+		return NewRankIntersect(o, e)
+	})
+	run("diff-empty-inner", func() (Operator, error) {
+		return NewRankDiff(NewSeqScan(other, "U"), NewSeqScan(empty, "T"))
+	})
+	run("limit-zero", func() (Operator, error) { return NewLimit(NewSeqScan(other, "U"), 0), nil })
+}
+
+// TestNRJNNonEquiCondition: a rank join over a genuinely non-equi
+// condition (the shape only NRJN can evaluate) against the oracle.
+func TestNRJNNonEquiCondition(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	lt := randTable(r, "L", 30, 10, 1)
+	rt := randTable(r, "R", 30, 10, 1)
+	preds := []*rank.Predicate{
+		{Index: 0, Args: []rank.ColumnRef{{Table: "L", Column: "p1"}}, Fn: identFn, Cost: 1},
+		{Index: 1, Args: []rank.ColumnRef{{Table: "R", Column: "p1"}}, Fn: identFn, Cost: 1},
+	}
+	spec := rank.MustSpec(rank.NewSum(2), preds)
+	ctx := NewContext(spec)
+	l, _ := NewRank(NewSeqScan(lt, "L"), preds[0])
+	rr, _ := NewRank(NewSeqScan(rt, "R"), preds[1])
+	cond := expr.Lt(expr.NewCol("L", "k"), expr.NewCol("R", "k"))
+	j, err := NewNRJN(l, rr, cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	lt.Scan(func(_ schema.TID, lrow []types.Value) bool {
+		rt.Scan(func(_ schema.TID, rrow []types.Value) bool {
+			if types.Compare(lrow[0], rrow[0]) < 0 {
+				want++
+			}
+			return true
+		})
+		return true
+	})
+	if len(out) != want {
+		t.Errorf("NRJN non-equi: %d rows, want %d", len(out), want)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Score > out[i-1].Score+1e-9 {
+			t.Fatal("NRJN output unranked")
+		}
+	}
+	if _, err := NewNRJN(l, rr, nil); err == nil {
+		t.Error("NRJN without a condition must be rejected")
+	}
+}

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"fmt"
+
+	"ranksql/internal/expr"
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+// Filter applies a Boolean condition (σ_c): it restricts membership and
+// preserves the input's order, per the extended selection semantics of
+// Figure 3.
+type Filter struct {
+	opBase
+	child Operator
+	cond  expr.Expr
+}
+
+// NewFilter builds σ_cond(child). The condition is bound against the
+// child's schema immediately.
+func NewFilter(child Operator, cond expr.Expr) (*Filter, error) {
+	f := &Filter{child: child, cond: cond}
+	f.sch = child.Schema()
+	if err := expr.Bind(cond, f.sch); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Open implements Operator.
+func (f *Filter) Open(ctx *Context) error {
+	f.reset()
+	return f.child.Open(ctx)
+}
+
+// Next implements Operator.
+func (f *Filter) Next(ctx *Context) (*schema.Tuple, error) {
+	for {
+		t, err := f.child.Next(ctx)
+		if err != nil || t == nil {
+			return nil, err
+		}
+		ctx.Stats.Comparisons++
+		ok, err := expr.EvalBool(f.cond, t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return f.emit(t), nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// Evaluated implements Operator.
+func (f *Filter) Evaluated() schema.Bitset { return f.child.Evaluated() }
+
+// Name implements Operator.
+func (f *Filter) Name() string { return fmt.Sprintf("filter(%s)", f.cond) }
+
+// Children implements Operator.
+func (f *Filter) Children() []Operator { return []Operator{f.child} }
+
+// Project narrows the output to a subset of columns (π). Like selection it
+// only manipulates membership-side data and preserves order. Ranking state
+// travels with the tuple, so later operators can still evaluate predicates
+// as long as their argument columns survive the projection; the planner
+// only projects at the very top of a plan.
+type Project struct {
+	opBase
+	child Operator
+	idx   []int
+}
+
+// NewProject builds π over the columns at the given child positions.
+func NewProject(child Operator, idx []int) (*Project, error) {
+	for _, i := range idx {
+		if i < 0 || i >= child.Schema().Len() {
+			return nil, fmt.Errorf("exec: project index %d out of range for %s", i, child.Schema())
+		}
+	}
+	p := &Project{child: child, idx: idx}
+	p.sch = child.Schema().Project(idx)
+	return p, nil
+}
+
+// Open implements Operator.
+func (p *Project) Open(ctx *Context) error {
+	p.reset()
+	return p.child.Open(ctx)
+}
+
+// Next implements Operator.
+func (p *Project) Next(ctx *Context) (*schema.Tuple, error) {
+	t, err := p.child.Next(ctx)
+	if err != nil || t == nil {
+		return nil, err
+	}
+	vals := make([]types.Value, len(p.idx))
+	for i, j := range p.idx {
+		vals[i] = t.Values[j]
+	}
+	nt := &schema.Tuple{
+		Values:    vals,
+		Preds:     t.Preds,
+		Evaluated: t.Evaluated,
+		Score:     t.Score,
+		TIDs:      t.TIDs,
+	}
+	return p.emit(nt), nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Evaluated implements Operator.
+func (p *Project) Evaluated() schema.Bitset { return p.child.Evaluated() }
+
+// Name implements Operator.
+func (p *Project) Name() string { return fmt.Sprintf("project%v", p.idx) }
+
+// Children implements Operator.
+func (p *Project) Children() []Operator { return []Operator{p.child} }

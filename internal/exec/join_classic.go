@@ -1,0 +1,409 @@
+package exec
+
+import (
+	"fmt"
+
+	"ranksql/internal/expr"
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+// joinCommon holds the machinery shared by all join operators: the
+// concatenated output schema and the optional residual condition bound
+// against it.
+type joinCommon struct {
+	opBase
+	left, right Operator
+	cond        expr.Expr // residual condition over the concat schema; may be nil
+}
+
+func (j *joinCommon) initJoin(left, right Operator, cond expr.Expr) error {
+	j.left, j.right = left, right
+	j.sch = left.Schema().Concat(right.Schema())
+	j.cond = cond
+	if cond != nil {
+		if err := expr.Bind(cond, j.sch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// combine concatenates l and r, applies the residual condition, and
+// rescores under the query spec. Returns nil when the condition rejects
+// the pair.
+func (j *joinCommon) combine(ctx *Context, l, r *schema.Tuple) (*schema.Tuple, error) {
+	ctx.Stats.JoinProbes++
+	t := schema.Concat(l, r)
+	if j.cond != nil {
+		ctx.Stats.Comparisons++
+		ok, err := expr.EvalBool(j.cond, t)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
+	ctx.Spec.Rescore(t)
+	return t, nil
+}
+
+func (j *joinCommon) Children() []Operator { return []Operator{j.left, j.right} }
+
+// Evaluated reports the union of the inputs' evaluated sets; whether the
+// OUTPUT STREAM is actually ordered by it depends on the join algorithm
+// (rank joins: yes; classic joins: no — the planner only uses classic
+// joins below sorts or µ chains).
+func (j *joinCommon) Evaluated() schema.Bitset {
+	return j.left.Evaluated().Union(j.right.Evaluated())
+}
+
+// NestedLoopJoin is the classic blocking nested-loops join: the right
+// (inner) input is materialized at Open, then probed per left tuple with
+// an arbitrary condition.
+type NestedLoopJoin struct {
+	joinCommon
+
+	inner   []*schema.Tuple
+	cur     *schema.Tuple
+	innerIx int
+}
+
+// NewNestedLoopJoin builds left NLJ right on cond (cond may be nil for a
+// Cartesian product).
+func NewNestedLoopJoin(left, right Operator, cond expr.Expr) (*NestedLoopJoin, error) {
+	j := &NestedLoopJoin{}
+	if err := j.initJoin(left, right, cond); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open(ctx *Context) error {
+	j.reset()
+	j.inner = nil
+	j.cur = nil
+	j.innerIx = 0
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		t, err := j.right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		j.inner = append(j.inner, t)
+		ctx.Stats.buffer(1)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next(ctx *Context) (*schema.Tuple, error) {
+	for {
+		if err := ctx.interrupted(); err != nil {
+			return nil, err
+		}
+		if j.cur == nil {
+			t, err := j.left.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				return nil, nil
+			}
+			j.cur = t
+			j.innerIx = 0
+		}
+		for j.innerIx < len(j.inner) {
+			r := j.inner[j.innerIx]
+			j.innerIx++
+			t, err := j.combine(ctx, j.cur, r)
+			if err != nil {
+				return nil, err
+			}
+			if t != nil {
+				return j.emit(t), nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	j.inner = nil
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}
+
+// Name implements Operator.
+func (j *NestedLoopJoin) Name() string {
+	if j.cond == nil {
+		return "nestLoop(×)"
+	}
+	return fmt.Sprintf("nestLoop(%s)", j.cond)
+}
+
+// HashJoin is the classic blocking equi-join: builds a hash table over the
+// right input, probes with left tuples.
+type HashJoin struct {
+	joinCommon
+	leftCol, rightCol int
+
+	table  map[uint64][]*schema.Tuple
+	cur    *schema.Tuple
+	bucket []*schema.Tuple
+	buckIx int
+}
+
+// NewHashJoin builds an equi-hash-join on leftKey = rightKey (column
+// references resolved against the respective input schemas); extra is an
+// optional residual condition over the concat schema.
+func NewHashJoin(left, right Operator, leftKey, rightKey *expr.Col, extra expr.Expr) (*HashJoin, error) {
+	j := &HashJoin{}
+	if err := j.initJoin(left, right, extra); err != nil {
+		return nil, err
+	}
+	j.leftCol = left.Schema().ColumnIndex(leftKey.Table, leftKey.Name)
+	j.rightCol = right.Schema().ColumnIndex(rightKey.Table, rightKey.Name)
+	if j.leftCol < 0 || j.rightCol < 0 {
+		return nil, fmt.Errorf("exec: hash join keys %s/%s unresolved", leftKey, rightKey)
+	}
+	return j, nil
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open(ctx *Context) error {
+	j.reset()
+	j.table = map[uint64][]*schema.Tuple{}
+	j.cur = nil
+	j.bucket = nil
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		t, err := j.right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		h := t.Values[j.rightCol].Hash()
+		j.table[h] = append(j.table[h], t)
+		ctx.Stats.buffer(1)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next(ctx *Context) (*schema.Tuple, error) {
+	for {
+		if err := ctx.interrupted(); err != nil {
+			return nil, err
+		}
+		if j.cur == nil {
+			t, err := j.left.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				return nil, nil
+			}
+			j.cur = t
+			j.bucket = j.table[t.Values[j.leftCol].Hash()]
+			j.buckIx = 0
+		}
+		for j.buckIx < len(j.bucket) {
+			r := j.bucket[j.buckIx]
+			j.buckIx++
+			if !types.Equal(j.cur.Values[j.leftCol], r.Values[j.rightCol]) {
+				ctx.Stats.JoinProbes++
+				continue
+			}
+			t, err := j.combine(ctx, j.cur, r)
+			if err != nil {
+				return nil, err
+			}
+			if t != nil {
+				return j.emit(t), nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}
+
+// Name implements Operator.
+func (j *HashJoin) Name() string { return "hashJoin" }
+
+// SortMergeJoin merges two inputs sorted ascending on their join columns.
+// It is the classic plan1/plan4 join of the paper's Figure 11. Inputs must
+// be sorted (IdxScanCol or SortColumn); duplicate key groups on the right
+// are buffered and replayed.
+type SortMergeJoin struct {
+	joinCommon
+	leftCol, rightCol int
+
+	l        *schema.Tuple
+	group    []*schema.Tuple // current right group with equal key
+	groupKey types.Value
+	groupIx  int
+	pendingR *schema.Tuple // right tuple read past the group
+	rDone    bool
+}
+
+// NewSortMergeJoin builds a merge join on leftKey = rightKey; extra is an
+// optional residual condition.
+func NewSortMergeJoin(left, right Operator, leftKey, rightKey *expr.Col, extra expr.Expr) (*SortMergeJoin, error) {
+	j := &SortMergeJoin{}
+	if err := j.initJoin(left, right, extra); err != nil {
+		return nil, err
+	}
+	j.leftCol = left.Schema().ColumnIndex(leftKey.Table, leftKey.Name)
+	j.rightCol = right.Schema().ColumnIndex(rightKey.Table, rightKey.Name)
+	if j.leftCol < 0 || j.rightCol < 0 {
+		return nil, fmt.Errorf("exec: merge join keys %s/%s unresolved", leftKey, rightKey)
+	}
+	return j, nil
+}
+
+// Open implements Operator.
+func (j *SortMergeJoin) Open(ctx *Context) error {
+	j.reset()
+	j.l = nil
+	j.group = nil
+	j.pendingR = nil
+	j.rDone = false
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	return j.right.Open(ctx)
+}
+
+// nextRight reads the next right tuple, honoring the pushback slot.
+func (j *SortMergeJoin) nextRight(ctx *Context) (*schema.Tuple, error) {
+	if j.pendingR != nil {
+		t := j.pendingR
+		j.pendingR = nil
+		return t, nil
+	}
+	if j.rDone {
+		return nil, nil
+	}
+	t, err := j.right.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if t == nil {
+		j.rDone = true
+	}
+	return t, nil
+}
+
+// loadGroup fills the right-side duplicate group for key.
+func (j *SortMergeJoin) loadGroup(ctx *Context, key types.Value) error {
+	j.group = j.group[:0]
+	j.groupKey = key
+	for {
+		r, err := j.nextRight(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			return nil
+		}
+		c := types.Compare(r.Values[j.rightCol], key)
+		ctx.Stats.Comparisons++
+		switch {
+		case c == 0:
+			j.group = append(j.group, r)
+		case c > 0:
+			j.pendingR = r
+			return nil
+		default:
+			// Right key below group key: skip (no left match remains).
+		}
+	}
+}
+
+// Next implements Operator.
+func (j *SortMergeJoin) Next(ctx *Context) (*schema.Tuple, error) {
+	for {
+		if err := ctx.interrupted(); err != nil {
+			return nil, err
+		}
+		if j.l == nil {
+			t, err := j.left.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				return nil, nil
+			}
+			j.l = t
+			key := t.Values[j.leftCol]
+			if j.group == nil || !types.Equal(key, j.groupKey) {
+				// Advance the right side to this key's group.
+				if j.group == nil || types.Compare(key, j.groupKey) > 0 {
+					if err := j.loadGroup(ctx, key); err != nil {
+						return nil, err
+					}
+				} else {
+					// Left went backwards? Inputs unsorted.
+					return nil, fmt.Errorf("exec: sort-merge join: left input not sorted")
+				}
+			}
+			j.groupIx = 0
+		}
+		for j.groupIx < len(j.group) {
+			r := j.group[j.groupIx]
+			j.groupIx++
+			t, err := j.combine(ctx, j.l, r)
+			if err != nil {
+				return nil, err
+			}
+			if t != nil {
+				return j.emit(t), nil
+			}
+		}
+		j.l = nil
+	}
+}
+
+// Close implements Operator.
+func (j *SortMergeJoin) Close() error {
+	j.group = nil
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}
+
+// Name implements Operator.
+func (j *SortMergeJoin) Name() string { return "mergeJoin" }

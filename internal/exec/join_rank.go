@@ -1,0 +1,329 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"ranksql/internal/expr"
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+// rankJoinBase implements the rank-join machinery shared by HRJN and NRJN
+// (Ilyas et al., adopted as the physical ./ of the rank-relational
+// algebra, §4.2). Both inputs stream in non-increasing upper-bound order;
+// join results are buffered in a ranking queue and emitted once their
+// exact combined upper bound F_{P1∪P2} dominates the threshold
+//
+//	T = max( UB(firstL ⊕ lastR), UB(lastL ⊕ firstR) )
+//
+// which bounds every join result not yet produced.
+type rankJoinBase struct {
+	joinCommon
+
+	queue           tupleHeap
+	firstL, lastL   *schema.Tuple
+	firstR, lastR   *schema.Tuple
+	lDone, rDone    bool
+	drawLeft        bool
+	scratch         []float64
+	nothingJoinable bool
+}
+
+func (j *rankJoinBase) openBase(ctx *Context) error {
+	j.reset()
+	j.queue = tupleHeap{}
+	j.firstL, j.lastL, j.firstR, j.lastR = nil, nil, nil, nil
+	j.lDone, j.rDone = false, false
+	j.drawLeft = true
+	j.nothingJoinable = false
+	j.scratch = make([]float64, ctx.Spec.N())
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	return j.right.Open(ctx)
+}
+
+// combinedUB computes the F_{P1∪P2} upper bound of a hypothetical join of
+// l and r without materializing the concatenation.
+func (j *rankJoinBase) combinedUB(ctx *Context, l, r *schema.Tuple) float64 {
+	ev := l.Evaluated.Union(r.Evaluated)
+	l.Evaluated.Each(func(i int) { j.scratch[i] = l.Preds[i] })
+	r.Evaluated.Each(func(i int) { j.scratch[i] = r.Preds[i] })
+	return ctx.Spec.UpperBound(j.scratch, ev)
+}
+
+// threshold computes the bound T on all future join results.
+func (j *rankJoinBase) threshold(ctx *Context) float64 {
+	if j.firstL == nil || j.firstR == nil {
+		// One side has produced nothing yet.
+		if (j.lDone && j.firstL == nil) || (j.rDone && j.firstR == nil) {
+			return math.Inf(-1) // empty side: no future results at all
+		}
+		return math.Inf(1)
+	}
+	t := math.Inf(-1)
+	if !j.rDone {
+		t = math.Max(t, j.combinedUB(ctx, j.firstL, j.lastR))
+	}
+	if !j.lDone {
+		t = math.Max(t, j.combinedUB(ctx, j.lastL, j.firstR))
+	}
+	return t
+}
+
+// pickSide chooses which input to draw from next: the side whose last
+// upper bound is larger (tending to tighten the threshold fastest), with
+// round-robin as tie-break and exhaustion handling.
+func (j *rankJoinBase) pickSide() (left bool, any bool) {
+	switch {
+	case j.lDone && j.rDone:
+		return false, false
+	case j.lDone:
+		return false, true
+	case j.rDone:
+		return true, true
+	case j.lastL == nil:
+		return true, true
+	case j.lastR == nil:
+		return false, true
+	case j.lastL.Score > j.lastR.Score:
+		return true, true
+	case j.lastR.Score > j.lastL.Score:
+		return false, true
+	default:
+		j.drawLeft = !j.drawLeft
+		return j.drawLeft, true
+	}
+}
+
+// nextRanked runs the emission loop; probe is invoked for each new input
+// tuple to generate join results into the queue.
+func (j *rankJoinBase) nextRanked(ctx *Context, probe func(t *schema.Tuple, fromLeft bool) error) (*schema.Tuple, error) {
+	for {
+		if err := ctx.interrupted(); err != nil {
+			return nil, err
+		}
+		if !j.queue.empty() {
+			if t := j.queue.top(); t.Score >= j.threshold(ctx) {
+				ctx.Stats.buffer(-1)
+				return j.emit(j.queue.pop()), nil
+			}
+		}
+		if j.nothingJoinable {
+			return nil, nil
+		}
+		fromLeft, ok := j.pickSide()
+		if !ok {
+			// Both exhausted: drain the queue.
+			if j.queue.empty() {
+				return nil, nil
+			}
+			ctx.Stats.buffer(-1)
+			return j.emit(j.queue.pop()), nil
+		}
+		var src Operator
+		if fromLeft {
+			src = j.left
+		} else {
+			src = j.right
+		}
+		t, err := src.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			if fromLeft {
+				j.lDone = true
+				if j.firstL == nil {
+					j.nothingJoinable = true
+				}
+			} else {
+				j.rDone = true
+				if j.firstR == nil {
+					j.nothingJoinable = true
+				}
+			}
+			continue
+		}
+		if fromLeft {
+			if j.firstL == nil {
+				j.firstL = t
+			}
+			j.lastL = t
+		} else {
+			if j.firstR == nil {
+				j.firstR = t
+			}
+			j.lastR = t
+		}
+		if err := probe(t, fromLeft); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (j *rankJoinBase) closeBase() error {
+	j.queue = tupleHeap{}
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}
+
+// HRJN is the hash rank-join: a symmetric hash join over an equi-join
+// condition whose output streams in rank order. Each side maintains a
+// hash table over the tuples seen so far; new tuples probe the opposite
+// table, and matches enter the ranking queue.
+type HRJN struct {
+	rankJoinBase
+	leftCol, rightCol int
+
+	lTable, rTable map[uint64][]*schema.Tuple
+}
+
+// NewHRJN builds an HRJN on leftKey = rightKey with an optional residual
+// condition over the concatenated schema.
+func NewHRJN(left, right Operator, leftKey, rightKey *expr.Col, extra expr.Expr) (*HRJN, error) {
+	j := &HRJN{}
+	if err := j.initJoin(left, right, extra); err != nil {
+		return nil, err
+	}
+	j.leftCol = left.Schema().ColumnIndex(leftKey.Table, leftKey.Name)
+	j.rightCol = right.Schema().ColumnIndex(rightKey.Table, rightKey.Name)
+	if j.leftCol < 0 || j.rightCol < 0 {
+		return nil, fmt.Errorf("exec: HRJN keys %s/%s unresolved", leftKey, rightKey)
+	}
+	return j, nil
+}
+
+// Open implements Operator.
+func (j *HRJN) Open(ctx *Context) error {
+	j.lTable = map[uint64][]*schema.Tuple{}
+	j.rTable = map[uint64][]*schema.Tuple{}
+	return j.openBase(ctx)
+}
+
+// probe inserts t into its side's hash table and joins it against the
+// opposite side's matches.
+func (j *HRJN) probe(ctx *Context, t *schema.Tuple, fromLeft bool) error {
+	var key uint64
+	if fromLeft {
+		key = t.Values[j.leftCol].Hash()
+		j.lTable[key] = append(j.lTable[key], t)
+	} else {
+		key = t.Values[j.rightCol].Hash()
+		j.rTable[key] = append(j.rTable[key], t)
+	}
+	ctx.Stats.buffer(1)
+	var matches []*schema.Tuple
+	if fromLeft {
+		matches = j.rTable[key]
+	} else {
+		matches = j.lTable[key]
+	}
+	for _, m := range matches {
+		l, r := t, m
+		if !fromLeft {
+			l, r = m, t
+		}
+		if !types.Equal(l.Values[j.leftCol], r.Values[j.rightCol]) {
+			ctx.Stats.JoinProbes++ // hash collision, rejected pair
+			continue
+		}
+		res, err := j.combine(ctx, l, r)
+		if err != nil {
+			return err
+		}
+		if res != nil {
+			j.queue.push(res)
+			ctx.Stats.buffer(1)
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *HRJN) Next(ctx *Context) (*schema.Tuple, error) {
+	return j.nextRanked(ctx, func(t *schema.Tuple, fromLeft bool) error {
+		return j.probe(ctx, t, fromLeft)
+	})
+}
+
+// Close implements Operator.
+func (j *HRJN) Close() error {
+	j.lTable, j.rTable = nil, nil
+	return j.closeBase()
+}
+
+// Name implements Operator.
+func (j *HRJN) Name() string { return "HRJN" }
+
+// NRJN is the nested-loops rank-join: the same ranked emission logic with
+// arbitrary join conditions; each new tuple probes every buffered tuple of
+// the opposite side.
+type NRJN struct {
+	rankJoinBase
+
+	lSeen, rSeen []*schema.Tuple
+}
+
+// NewNRJN builds an NRJN on an arbitrary condition over the concatenated
+// schema. cond may not be nil (a rank Cartesian product would never
+// terminate early; use classic operators for that).
+func NewNRJN(left, right Operator, cond expr.Expr) (*NRJN, error) {
+	if cond == nil {
+		return nil, fmt.Errorf("exec: NRJN requires a join condition")
+	}
+	j := &NRJN{}
+	if err := j.initJoin(left, right, cond); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Open implements Operator.
+func (j *NRJN) Open(ctx *Context) error {
+	j.lSeen, j.rSeen = nil, nil
+	return j.openBase(ctx)
+}
+
+// Next implements Operator.
+func (j *NRJN) Next(ctx *Context) (*schema.Tuple, error) {
+	return j.nextRanked(ctx, func(t *schema.Tuple, fromLeft bool) error {
+		var others []*schema.Tuple
+		if fromLeft {
+			j.lSeen = append(j.lSeen, t)
+			others = j.rSeen
+		} else {
+			j.rSeen = append(j.rSeen, t)
+			others = j.lSeen
+		}
+		ctx.Stats.buffer(1)
+		for _, m := range others {
+			l, r := t, m
+			if !fromLeft {
+				l, r = m, t
+			}
+			res, err := j.combine(ctx, l, r)
+			if err != nil {
+				return err
+			}
+			if res != nil {
+				j.queue.push(res)
+				ctx.Stats.buffer(1)
+			}
+		}
+		return nil
+	})
+}
+
+// Close implements Operator.
+func (j *NRJN) Close() error {
+	j.lSeen, j.rSeen = nil, nil
+	return j.closeBase()
+}
+
+// Name implements Operator.
+func (j *NRJN) Name() string { return "NRJN" }

@@ -1,0 +1,146 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"ranksql/internal/schema"
+)
+
+// Operator is a physical plan node in the iterator model. Next returns the
+// next output tuple or nil at end-of-stream. Rank-aware operators emit
+// tuples in non-increasing maximal-possible-score order (the operator's
+// output is a rank-relation over the predicate set Evaluated()).
+type Operator interface {
+	// Open prepares the operator (and recursively its inputs).
+	Open(ctx *Context) error
+	// Next returns the next tuple, or (nil, nil) at end of stream.
+	Next(ctx *Context) (*schema.Tuple, error)
+	// Close releases resources (recursively).
+	Close() error
+
+	// Schema describes the output columns.
+	Schema() *schema.Schema
+	// Evaluated is the set P of ranking predicates evaluated at or below
+	// this operator; the output stream is ordered by F_P (for rank-aware
+	// operators).
+	Evaluated() schema.Bitset
+	// Name is a short operator label for EXPLAIN, e.g. "rank(f2)".
+	Name() string
+	// Children returns the input operators.
+	Children() []Operator
+	// OutCount reports tuples emitted so far (per-operator cardinality,
+	// used for Figure 13 style accounting and sampling estimation).
+	OutCount() int64
+}
+
+// opBase carries the bookkeeping every operator shares.
+type opBase struct {
+	sch *schema.Schema
+	out int64
+}
+
+func (b *opBase) Schema() *schema.Schema { return b.sch }
+func (b *opBase) OutCount() int64        { return b.out }
+
+// emit counts an outgoing tuple.
+func (b *opBase) emit(t *schema.Tuple) *schema.Tuple {
+	if t != nil {
+		b.out++
+	}
+	return t
+}
+
+// reset clears the output counter (operators are single-use; reset exists
+// for the estimator, which re-opens cached trees).
+func (b *opBase) reset() { b.out = 0 }
+
+// tupleHeap is a max-heap of tuples by Score (descending) with TID
+// tie-break — the "ranking queue" of §4.1.
+type tupleHeap struct {
+	items []*schema.Tuple
+}
+
+func (h *tupleHeap) Len() int           { return len(h.items) }
+func (h *tupleHeap) Less(i, j int) bool { return h.items[i].Less(h.items[j]) }
+func (h *tupleHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *tupleHeap) Push(x interface{}) { h.items = append(h.items, x.(*schema.Tuple)) }
+func (h *tupleHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	h.items = old[:n-1]
+	return t
+}
+
+func (h *tupleHeap) push(t *schema.Tuple) { heap.Push(h, t) }
+func (h *tupleHeap) pop() *schema.Tuple   { return heap.Pop(h).(*schema.Tuple) }
+func (h *tupleHeap) top() *schema.Tuple   { return h.items[0] }
+func (h *tupleHeap) empty() bool          { return len(h.items) == 0 }
+
+// Walk visits the operator tree pre-order.
+func Walk(op Operator, fn func(op Operator, depth int)) {
+	var rec func(Operator, int)
+	rec = func(o Operator, d int) {
+		fn(o, d)
+		for _, c := range o.Children() {
+			rec(c, d+1)
+		}
+	}
+	rec(op, 0)
+}
+
+// OpCount is one operator's per-execution cardinality, used to compare real
+// versus estimated cardinalities (Figure 13).
+type OpCount struct {
+	Name  string
+	Depth int
+	Out   int64
+}
+
+// CollectCounts gathers per-operator output counts from an executed tree,
+// in pre-order.
+func CollectCounts(op Operator) []OpCount {
+	var out []OpCount
+	Walk(op, func(o Operator, d int) {
+		out = append(out, OpCount{Name: o.Name(), Depth: d, Out: o.OutCount()})
+	})
+	return out
+}
+
+// FormatTree renders the operator tree with output counts, for EXPLAIN
+// ANALYZE style output.
+func FormatTree(op Operator) string {
+	var b strings.Builder
+	Walk(op, func(o Operator, d int) {
+		fmt.Fprintf(&b, "%s%s (out=%d)\n", strings.Repeat("  ", d), o.Name(), o.OutCount())
+	})
+	return b.String()
+}
+
+// Drain pulls every tuple from op (after Open) and returns them; used by
+// tests and the estimator.
+func Drain(ctx *Context, op Operator) ([]*schema.Tuple, error) {
+	var out []*schema.Tuple
+	for {
+		t, err := op.Next(ctx)
+		if err != nil {
+			return out, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// Run opens, fully drains and closes an operator tree.
+func Run(ctx *Context, op Operator) ([]*schema.Tuple, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	return Drain(ctx, op)
+}

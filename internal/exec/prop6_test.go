@@ -1,0 +1,128 @@
+package exec
+
+// Physical verification of Proposition 6 (multiple-scan law):
+// µp1(µp2(R_∅)) ≡ µp1(R_∅) ∩r µp2(R_∅). The law is verified on the
+// logical algebra in internal/algebra; here the two physical realizations
+// — a µ chain over one scan versus a rank-intersection of two rank-scans
+// of the same table — are compared end to end.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ranksql/internal/catalog"
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+func TestProposition6Physical(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl := randTable(r, "T", 1+r.Intn(50), 1000, 2)
+		spec := tableSpec("T", 2)
+
+		// LHS: µp1(µp2(seqScan)).
+		lhsCtx := NewContext(spec)
+		m2, err := NewRank(NewSeqScan(tbl, "T"), spec.Preds[1])
+		if err != nil {
+			return false
+		}
+		m1, err := NewRank(m2, spec.Preds[0])
+		if err != nil {
+			return false
+		}
+		lhs, err := Run(lhsCtx, m1)
+		if err != nil {
+			return false
+		}
+
+		// RHS: rank-scans over real rank indexes, intersected.
+		cat := catalog.New()
+		tm, err := cat.CreateTable("T", tbl.Schema)
+		if err != nil {
+			return false
+		}
+		tbl.Scan(func(_ schema.TID, row []types.Value) bool {
+			tm.Table.MustAppend(row)
+			return true
+		})
+		ident := func(args []types.Value) float64 { f, _ := args[0].AsFloat(); return f }
+		ri1, err := tm.CreateRankIndex("p1", []string{"p1"}, ident)
+		if err != nil {
+			return false
+		}
+		ri2, err := tm.CreateRankIndex("p2", []string{"p2"}, ident)
+		if err != nil {
+			return false
+		}
+		rhsCtx := NewContext(spec)
+		s1, err := NewRankScan(tm.Table, "T", spec.Preds[0], ri1, nil)
+		if err != nil {
+			return false
+		}
+		s2, err := NewRankScan(tm.Table, "T", spec.Preds[1], ri2, nil)
+		if err != nil {
+			return false
+		}
+		inter, err := NewRankIntersect(s1, s2)
+		if err != nil {
+			return false
+		}
+		rhs, err := Run(rhsCtx, inter)
+		if err != nil {
+			return false
+		}
+
+		// Same membership cardinality and the same score sequence. The
+		// random key column is near-unique (keyspace 1000), so value-key
+		// set semantics rarely collapse rows; compare score sequences.
+		if len(lhs) != len(rhs) {
+			return false
+		}
+		for i := range lhs {
+			if diff := lhs[i].Score - rhs[i].Score; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContextSensitiveSelectivity pins down the §4.1 observation that
+// rank-operator selectivities depend on their position in the plan: the
+// same µ_p4 passes 2/3 of its input in Figure 6(b) but 1/3 in Figure 6(c).
+func TestContextSensitiveSelectivity(t *testing.T) {
+	c := paperCatalog(t)
+	spec := specF2()
+
+	sel := func(first, second int) (float64, float64) {
+		ctx := NewContext(spec)
+		top, scan, m1, m2 := figure6Plan(t, c, spec, first, second)
+		if _, err := Run(ctx, top); err != nil {
+			t.Fatal(err)
+		}
+		return float64(m1.OutCount()) / float64(scan.OutCount()),
+			float64(m2.OutCount()) / float64(m1.OutCount())
+	}
+	// Plan (b): µp4 then µp5.
+	p4b, p5b := sel(1, 2)
+	// Plan (c): µp5 then µp4.
+	p5c, p4c := sel(2, 1)
+	if p4b == p4c {
+		t.Errorf("µ_p4 selectivity should differ across plans: %v vs %v", p4b, p4c)
+	}
+	if p5b == p5c {
+		t.Errorf("µ_p5 selectivity should differ across plans: %v vs %v", p5b, p5c)
+	}
+	// The paper's concrete numbers: 2/3 vs 1/3 for µp4, 1/2 vs 3/5 for µp5.
+	if !approx(p4b, 2.0/3) || !approx(p4c, 1.0/3) {
+		t.Errorf("µ_p4 selectivities = %v/%v, want 2/3 and 1/3", p4b, p4c)
+	}
+	if !approx(p5b, 0.5) || !approx(p5c, 0.6) {
+		t.Errorf("µ_p5 selectivities = %v/%v, want 1/2 and 3/5", p5b, p5c)
+	}
+}

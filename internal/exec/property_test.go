@@ -1,0 +1,545 @@
+package exec
+
+// Property tests: every incremental rank-aware operator is checked against
+// a brute-force oracle on randomized inputs, with testing/quick driving
+// the seeds. The oracle materializes, applies the operator's definitional
+// semantics (Figure 3), sorts by upper bound, and compares score
+// sequences (ties may permute; scores must match position-wise).
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ranksql/internal/expr"
+	"ranksql/internal/rank"
+	"ranksql/internal/schema"
+	"ranksql/internal/storage"
+	"ranksql/internal/types"
+)
+
+// randTable builds a table with columns (k INT, p1..pn FLOAT) where k is a
+// join/value column and p_i are predicate score columns.
+func randTable(r *rand.Rand, name string, rows, keyspace, npreds int) *storage.Table {
+	cols := []schema.Column{{Name: "k", Kind: types.KindInt}}
+	for i := 0; i < npreds; i++ {
+		cols = append(cols, schema.Column{Name: predCol(i), Kind: types.KindFloat})
+	}
+	t := storage.NewTable(name, schema.NewSchema(cols...))
+	for i := 0; i < rows; i++ {
+		row := []types.Value{types.NewInt(int64(r.Intn(keyspace)))}
+		for j := 0; j < npreds; j++ {
+			row = append(row, types.NewFloat(float64(r.Intn(101))/100))
+		}
+		t.MustAppend(row)
+	}
+	return t
+}
+
+func predCol(i int) string {
+	return "p" + string(rune('1'+i))
+}
+
+// tableSpec builds a spec with one identity predicate per score column of
+// the given alias.
+func tableSpec(alias string, npreds int) *rank.Spec {
+	preds := make([]*rank.Predicate, npreds)
+	for i := 0; i < npreds; i++ {
+		preds[i] = &rank.Predicate{
+			Index: i,
+			Name:  predCol(i),
+			Args:  []rank.ColumnRef{{Table: alias, Column: predCol(i)}},
+			Fn:    func(args []types.Value) float64 { f, _ := args[0].AsFloat(); return f },
+			Cost:  1,
+		}
+	}
+	return rank.MustSpec(rank.NewSum(npreds), preds)
+}
+
+// drainScores runs the operator and returns output scores, checking the
+// stream is non-increasing (the rank-relation contract).
+func drainScores(t *testing.T, ctx *Context, op Operator) []float64 {
+	t.Helper()
+	out, err := Run(ctx, op)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	scores := make([]float64, len(out))
+	prev := math.Inf(1)
+	for i, tp := range out {
+		scores[i] = tp.Score
+		if tp.Score > prev+1e-9 {
+			t.Fatalf("output not in non-increasing score order at %d: %v", i, scores)
+		}
+		prev = tp.Score
+	}
+	return scores
+}
+
+func sortedDesc(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMuChainVsOracle: any permutation of a full µ chain over a scan must
+// produce the totally-ranked relation.
+func TestMuChainVsOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 3
+		tbl := randTable(r, "T", 1+r.Intn(60), 10, n)
+		spec := tableSpec("T", n)
+		ctx := NewContext(spec)
+
+		perm := r.Perm(n)
+		var op Operator = NewSeqScan(tbl, "T")
+		for _, pi := range perm {
+			m, err := NewRank(op, spec.Preds[pi])
+			if err != nil {
+				return false
+			}
+			op = m
+		}
+		got, err := Run(ctx, op)
+		if err != nil {
+			return false
+		}
+		// Oracle: full scores sorted descending.
+		var want []float64
+		tbl.Scan(func(_ schema.TID, row []types.Value) bool {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				f, _ := row[1+i].AsFloat()
+				s += f
+			}
+			want = append(want, s)
+			return true
+		})
+		gotScores := make([]float64, len(got))
+		for i, tp := range got {
+			gotScores[i] = tp.Score
+		}
+		return floatsEqual(gotScores, sortedDesc(want))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHRJNVsOracle: HRJN over two ranked inputs equals the sorted
+// brute-force join.
+func TestHRJNVsOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lt := randTable(r, "L", 1+r.Intn(40), 6, 1)
+		rt := randTable(r, "R", 1+r.Intn(40), 6, 1)
+		// Spec: p1 on L (index 0), p1 on R (index 1).
+		preds := []*rank.Predicate{
+			{Index: 0, Name: "lp", Args: []rank.ColumnRef{{Table: "L", Column: "p1"}},
+				Fn: identFn, Cost: 1},
+			{Index: 1, Name: "rp", Args: []rank.ColumnRef{{Table: "R", Column: "p1"}},
+				Fn: identFn, Cost: 1},
+		}
+		spec := rank.MustSpec(rank.NewSum(2), preds)
+		ctx := NewContext(spec)
+
+		l, err := NewRank(NewSeqScan(lt, "L"), preds[0])
+		if err != nil {
+			return false
+		}
+		rr, err := NewRank(NewSeqScan(rt, "R"), preds[1])
+		if err != nil {
+			return false
+		}
+		join, err := NewHRJN(l, rr, expr.NewCol("L", "k"), expr.NewCol("R", "k"), nil)
+		if err != nil {
+			return false
+		}
+		got, err := Run(ctx, join)
+		if err != nil {
+			return false
+		}
+		gotScores := make([]float64, len(got))
+		prev := math.Inf(1)
+		for i, tp := range got {
+			gotScores[i] = tp.Score
+			if tp.Score > prev+1e-9 {
+				return false // emission order violated
+			}
+			prev = tp.Score
+		}
+		// Oracle.
+		var want []float64
+		lt.Scan(func(_ schema.TID, lrow []types.Value) bool {
+			rt.Scan(func(_ schema.TID, rrow []types.Value) bool {
+				if types.Equal(lrow[0], rrow[0]) {
+					lf, _ := lrow[1].AsFloat()
+					rf, _ := rrow[1].AsFloat()
+					want = append(want, lf+rf)
+				}
+				return true
+			})
+			return true
+		})
+		return floatsEqual(gotScores, sortedDesc(want))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func identFn(args []types.Value) float64 { f, _ := args[0].AsFloat(); return f }
+
+// TestNRJNMatchesHRJN: with an equi condition, NRJN and HRJN agree.
+func TestNRJNMatchesHRJN(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lt := randTable(r, "L", 1+r.Intn(30), 5, 1)
+		rt := randTable(r, "R", 1+r.Intn(30), 5, 1)
+		preds := []*rank.Predicate{
+			{Index: 0, Args: []rank.ColumnRef{{Table: "L", Column: "p1"}}, Fn: identFn, Cost: 1},
+			{Index: 1, Args: []rank.ColumnRef{{Table: "R", Column: "p1"}}, Fn: identFn, Cost: 1},
+		}
+		spec := rank.MustSpec(rank.NewSum(2), preds)
+
+		build := func(useHash bool) []float64 {
+			ctx := NewContext(spec)
+			l, _ := NewRank(NewSeqScan(lt, "L"), preds[0])
+			rr, _ := NewRank(NewSeqScan(rt, "R"), preds[1])
+			var join Operator
+			if useHash {
+				join, _ = NewHRJN(l, rr, expr.NewCol("L", "k"), expr.NewCol("R", "k"), nil)
+			} else {
+				join, _ = NewNRJN(l, rr, expr.Eq(expr.NewCol("L", "k"), expr.NewCol("R", "k")))
+			}
+			out, err := Run(ctx, join)
+			if err != nil {
+				return nil
+			}
+			s := make([]float64, len(out))
+			for i, tp := range out {
+				s[i] = tp.Score
+			}
+			return s
+		}
+		return floatsEqual(build(true), build(false))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetOpsVsOracle: rank-aware ∪, ∩, − against set-semantics oracles.
+func TestSetOpsVsOracle(t *testing.T) {
+	mk := func(seed int64) (*storage.Table, *storage.Table, *rank.Spec) {
+		r := rand.New(rand.NewSource(seed))
+		// Shared keyspace so overlaps happen; identical (k, p1, p2)
+		// columns. Set semantics are on full-value tuples, so generate
+		// rows from a small pool to force duplicates.
+		pool := randTable(r, "P", 12, 4, 2)
+		pick := func(name string, n int) *storage.Table {
+			t := storage.NewTable(name, pool.Schema)
+			for i := 0; i < n; i++ {
+				t.MustAppend(pool.Row(schema.TID(r.Intn(pool.NumRows()))))
+			}
+			return t
+		}
+		lt := pick("L", 1+r.Intn(15))
+		rt := pick("R", 1+r.Intn(15))
+		preds := []*rank.Predicate{
+			{Index: 0, Args: []rank.ColumnRef{{Column: "p1"}}, Fn: identFn, Cost: 1},
+			{Index: 1, Args: []rank.ColumnRef{{Column: "p2"}}, Fn: identFn, Cost: 1},
+		}
+		return lt, rt, rank.MustSpec(rank.NewSum(2), preds)
+	}
+
+	type oracleFn func(l, r map[string]float64) map[string]float64
+	oracles := map[string]struct {
+		build  func(l, r Operator) (Operator, error)
+		oracle oracleFn
+		// orderByOuter: difference orders by F_{P1}; others by final.
+		outerOrder bool
+	}{
+		"union": {
+			build: func(l, r Operator) (Operator, error) { return NewRankUnion(l, r) },
+			oracle: func(l, r map[string]float64) map[string]float64 {
+				out := map[string]float64{}
+				for k, v := range l {
+					out[k] = v
+				}
+				for k, v := range r {
+					out[k] = v
+				}
+				return out
+			},
+		},
+		"intersect": {
+			build: func(l, r Operator) (Operator, error) { return NewRankIntersect(l, r) },
+			oracle: func(l, r map[string]float64) map[string]float64 {
+				out := map[string]float64{}
+				for k, v := range l {
+					if _, ok := r[k]; ok {
+						out[k] = v
+					}
+				}
+				return out
+			},
+		},
+		"diff": {
+			build:      func(l, r Operator) (Operator, error) { return NewRankDiff(l, r) },
+			outerOrder: true,
+			oracle: func(l, r map[string]float64) map[string]float64 {
+				out := map[string]float64{}
+				for k, v := range l {
+					if _, ok := r[k]; !ok {
+						out[k] = v
+					}
+				}
+				return out
+			},
+		},
+	}
+
+	for name, tc := range oracles {
+		tc := tc
+		t.Run(name, func(t *testing.T) {
+			prop := func(seed int64) bool {
+				lt, rt, spec := mk(seed)
+				ctx := NewContext(spec)
+				l, err := NewRank(NewSeqScan(lt, "L"), spec.Preds[0])
+				if err != nil {
+					return false
+				}
+				r, err := NewRank(NewSeqScan(rt, "R"), spec.Preds[1])
+				if err != nil {
+					return false
+				}
+				op, err := tc.build(l, r)
+				if err != nil {
+					return false
+				}
+				out, err := Run(ctx, op)
+				if err != nil {
+					return false
+				}
+
+				// Build oracle maps keyed by full-value key; value = the
+				// relevant score (full F for union/intersect, F_{p1}
+				// partial bound for difference).
+				score := func(row []types.Value, outer bool) float64 {
+					p1, _ := row[1].AsFloat()
+					p2, _ := row[2].AsFloat()
+					if outer {
+						return p1 + 1 // F_{P1} upper bound: p2 unknown → max 1
+					}
+					return p1 + p2
+				}
+				key := func(row []types.Value) string {
+					tp := &schema.Tuple{Values: row}
+					return tp.ValueKey()
+				}
+				lm := map[string]float64{}
+				lt.Scan(func(_ schema.TID, row []types.Value) bool {
+					lm[key(row)] = score(row, tc.outerOrder)
+					return true
+				})
+				rm := map[string]float64{}
+				rt.Scan(func(_ schema.TID, row []types.Value) bool {
+					rm[key(row)] = score(row, false)
+					return true
+				})
+				wantMap := tc.oracle(lm, rm)
+				var want []float64
+				for _, v := range wantMap {
+					want = append(want, v)
+				}
+				got := make([]float64, len(out))
+				for i, tp := range out {
+					got[i] = tp.Score
+				}
+				return floatsEqual(got, sortedDesc(want))
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestClassicJoinsAgree: NLJ, hash join and sort-merge join produce the
+// same multiset of rows on equi-joins.
+func TestClassicJoinsAgree(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lt := randTable(r, "L", 1+r.Intn(40), 5, 1)
+		rt := randTable(r, "R", 1+r.Intn(40), 5, 1)
+		spec := rank.EmptySpec()
+
+		keys := func(op Operator) []string {
+			ctx := NewContext(spec)
+			out, err := Run(ctx, op)
+			if err != nil {
+				return nil
+			}
+			ks := make([]string, len(out))
+			for i, tp := range out {
+				ks[i] = tp.IdentityKey()
+			}
+			sort.Strings(ks)
+			return ks
+		}
+		lk, rk := expr.NewCol("L", "k"), expr.NewCol("R", "k")
+
+		nl, _ := NewNestedLoopJoin(NewSeqScan(lt, "L"), NewSeqScan(rt, "R"),
+			expr.Eq(expr.NewCol("L", "k"), expr.NewCol("R", "k")))
+		hj, _ := NewHashJoin(NewSeqScan(lt, "L"), NewSeqScan(rt, "R"), lk, rk, nil)
+		ls, _ := NewSortColumn(NewSeqScan(lt, "L"), "L", "k", true)
+		rs, _ := NewSortColumn(NewSeqScan(rt, "R"), "R", "k", true)
+		mj, _ := NewSortMergeJoin(ls, rs, lk, rk, nil)
+
+		a, b, c := keys(nl), keys(hj), keys(mj)
+		if len(a) != len(b) || len(b) != len(c) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] || b[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRankScanFallbackMatchesMu: RankScan without an index equals
+// µ_p(seqScan).
+func TestRankScanFallbackMatchesMu(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tbl := randTable(r, "T", 50, 10, 1)
+	spec := tableSpec("T", 1)
+
+	ctx1 := NewContext(spec)
+	rs, err := NewRankScan(tbl, "T", spec.Preds[0], nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := drainScores(t, ctx1, rs)
+
+	ctx2 := NewContext(spec)
+	m, err := NewRank(NewSeqScan(tbl, "T"), spec.Preds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := drainScores(t, ctx2, m)
+	if !floatsEqual(a, b) {
+		t.Errorf("fallback rank-scan %v != µ(seqScan) %v", a, b)
+	}
+}
+
+// TestCancellation: a closed cancel channel interrupts execution.
+func TestCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tbl := randTable(r, "T", 10000, 10, 1)
+	spec := tableSpec("T", 1)
+	ctx := NewContext(spec)
+	cancel := make(chan struct{})
+	close(cancel)
+	ctx.Cancel = cancel
+	m, err := NewRank(NewSeqScan(tbl, "T"), spec.Preds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 10000; i++ {
+		_, err := m.Next(ctx)
+		if err == ErrInterrupted {
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatal("execution never observed cancellation")
+}
+
+// TestErroringPredicate: errors from expression evaluation propagate.
+func TestErroringFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tbl := randTable(r, "T", 10, 3, 1)
+	spec := tableSpec("T", 1)
+	ctx := NewContext(spec)
+	// k / (k - k) divides by zero.
+	k := expr.NewCol("T", "k")
+	bad := expr.Gt(expr.NewBinary(expr.OpDiv, k, expr.NewBinary(expr.OpSub, expr.Clone(k), expr.Clone(k))), expr.NewConst(types.NewInt(0)))
+	f, err := NewFilter(NewSeqScan(tbl, "T"), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(ctx, f); err == nil {
+		t.Error("division by zero in filter did not propagate")
+	}
+}
+
+// TestLimitStopsEarly: a limit over a µ chain must not exhaust the scan.
+func TestLimitStopsEarly(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tbl := randTable(r, "T", 5000, 10, 1)
+	spec := tableSpec("T", 1)
+	ctx := NewContext(spec)
+	rs, err := NewRankScan(tbl, "T", spec.Preds[0], nil, nil) // fallback sorts fully but emits lazily
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := NewLimit(rs, 3)
+	out, err := Run(ctx, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("limit returned %d", len(out))
+	}
+	if rs.OutCount() != 3 {
+		t.Errorf("limit drew %d tuples from child, want 3", rs.OutCount())
+	}
+}
+
+// TestProjectPreservesRanking: projection keeps scores and order.
+func TestProjectPreservesRanking(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	tbl := randTable(r, "T", 40, 10, 2)
+	spec := tableSpec("T", 2)
+	ctx := NewContext(spec)
+	m1, _ := NewRank(NewSeqScan(tbl, "T"), spec.Preds[0])
+	m2, _ := NewRank(m1, spec.Preds[1])
+	proj, err := NewProject(m2, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := drainScores(t, ctx, proj)
+	if len(out) != 40 {
+		t.Fatalf("project lost tuples: %d", len(out))
+	}
+	if proj.Schema().Len() != 1 {
+		t.Error("schema not narrowed")
+	}
+}

@@ -1,0 +1,372 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"ranksql/internal/btree"
+	"ranksql/internal/catalog"
+	"ranksql/internal/expr"
+	"ranksql/internal/rank"
+	"ranksql/internal/schema"
+	"ranksql/internal/storage"
+	"ranksql/internal/types"
+)
+
+// aliasedSchema qualifies a table schema with the query alias so columns
+// resolve as alias.column downstream.
+func aliasedSchema(t *storage.Table, alias string) *schema.Schema {
+	cols := make([]schema.Column, t.Schema.Len())
+	for i, c := range t.Schema.Columns {
+		cols[i] = schema.Column{Table: alias, Name: c.Name, Kind: c.Kind}
+	}
+	return schema.NewSchema(cols...)
+}
+
+// SeqScan reads a heap table in TID order. Its output is the unranked
+// rank-relation R_∅: every tuple carries the ceiling score F_∅.
+type SeqScan struct {
+	opBase
+	table *storage.Table
+	alias string
+
+	tid     int
+	ceiling float64
+	npreds  int
+}
+
+// NewSeqScan builds a sequential scan over table, qualified by alias.
+func NewSeqScan(table *storage.Table, alias string) *SeqScan {
+	s := &SeqScan{table: table, alias: alias}
+	s.sch = aliasedSchema(table, alias)
+	return s
+}
+
+// Open implements Operator.
+func (s *SeqScan) Open(ctx *Context) error {
+	s.tid = 0
+	s.reset()
+	s.ceiling = ctx.Spec.CeilingScore()
+	s.npreds = ctx.Spec.N()
+	return nil
+}
+
+// Next implements Operator.
+func (s *SeqScan) Next(ctx *Context) (*schema.Tuple, error) {
+	if err := ctx.interrupted(); err != nil {
+		return nil, err
+	}
+	if s.tid >= s.table.NumRows() {
+		return nil, nil
+	}
+	row := s.table.Row(schema.TID(s.tid))
+	t := schema.NewTuple(schema.TID(s.tid), row, s.npreds)
+	t.Score = s.ceiling
+	s.tid++
+	ctx.Stats.TuplesScanned++
+	return s.emit(t), nil
+}
+
+// Close implements Operator.
+func (s *SeqScan) Close() error { return nil }
+
+// Evaluated implements Operator.
+func (s *SeqScan) Evaluated() schema.Bitset { return 0 }
+
+// Name implements Operator.
+func (s *SeqScan) Name() string { return fmt.Sprintf("seqScan(%s)", s.alias) }
+
+// Children implements Operator.
+func (s *SeqScan) Children() []Operator { return nil }
+
+// RankScan is the paper's idxScan_p: it streams a table's tuples in
+// descending order of one ranking predicate, using a rank index when one is
+// available. The predicate's score comes from the index for free — the
+// one-time evaluation cost was paid at index build, exactly like an
+// expression index in PostgreSQL.
+//
+// When no index is supplied (Index == nil) the operator falls back to
+// materialize + evaluate + sort. The fallback pays the predicate's
+// evaluation cost per tuple and is what the sampling-based estimator uses
+// on sample tables, which have no indexes.
+//
+// An optional fused selection condition (scan-based selection, §4.2)
+// filters tuples during the scan.
+type RankScan struct {
+	opBase
+	table *storage.Table
+	alias string
+	pred  *rank.Predicate
+	index *catalog.RankIndex
+	cond  expr.Expr
+
+	npreds int
+	iter   *btree.Iterator
+	sorted []*schema.Tuple // fallback mode
+	pos    int
+}
+
+// NewRankScan builds a rank-scan. index may be nil (fallback mode); cond
+// may be nil (no fused selection).
+func NewRankScan(table *storage.Table, alias string, pred *rank.Predicate, index *catalog.RankIndex, cond expr.Expr) (*RankScan, error) {
+	s := &RankScan{table: table, alias: alias, pred: pred, index: index, cond: cond}
+	s.sch = aliasedSchema(table, alias)
+	if cond != nil {
+		if err := expr.Bind(cond, s.sch); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Open implements Operator.
+func (s *RankScan) Open(ctx *Context) error {
+	s.reset()
+	s.npreds = ctx.Spec.N()
+	s.pos = 0
+	s.sorted = nil
+	if s.index != nil {
+		s.iter = s.index.Tree.Descend()
+		return nil
+	}
+	// Fallback: evaluate the predicate over the whole table and sort.
+	bp, err := bindPred(s.pred, s.sch, false)
+	if err != nil {
+		return err
+	}
+	s.sorted = make([]*schema.Tuple, 0, s.table.NumRows())
+	s.table.Scan(func(tid schema.TID, row []types.Value) bool {
+		t := schema.NewTuple(tid, row, s.npreds)
+		ctx.evalPred(bp, t)
+		s.sorted = append(s.sorted, t)
+		return true
+	})
+	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i].Less(s.sorted[j]) })
+	return nil
+}
+
+// Next implements Operator.
+func (s *RankScan) Next(ctx *Context) (*schema.Tuple, error) {
+	for {
+		if err := ctx.interrupted(); err != nil {
+			return nil, err
+		}
+		var t *schema.Tuple
+		if s.index != nil {
+			e, ok := s.iter.Next()
+			if !ok {
+				return nil, nil
+			}
+			row := s.table.Row(e.TID)
+			t = schema.NewTuple(e.TID, row, s.npreds)
+			t.Preds[s.pred.Index] = s.index.Scores[e.TID]
+			t.Evaluated = schema.Bit(s.pred.Index)
+			ctx.Spec.Rescore(t)
+		} else {
+			if s.pos >= len(s.sorted) {
+				return nil, nil
+			}
+			t = s.sorted[s.pos]
+			s.pos++
+		}
+		ctx.Stats.TuplesScanned++
+		if s.cond != nil {
+			ctx.Stats.Comparisons++
+			ok, err := expr.EvalBool(s.cond, t)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		return s.emit(t), nil
+	}
+}
+
+// Close implements Operator.
+func (s *RankScan) Close() error {
+	s.iter = nil
+	s.sorted = nil
+	return nil
+}
+
+// Evaluated implements Operator.
+func (s *RankScan) Evaluated() schema.Bitset { return schema.Bit(s.pred.Index) }
+
+// Name implements Operator.
+func (s *RankScan) Name() string {
+	if s.cond != nil {
+		return fmt.Sprintf("idxScan_%s(%s | %s)", s.pred, s.alias, s.cond)
+	}
+	return fmt.Sprintf("idxScan_%s(%s)", s.pred, s.alias)
+}
+
+// Children implements Operator.
+func (s *RankScan) Children() []Operator { return nil }
+
+// IdxScanCol streams a table in ascending order of one column using an
+// attribute index — the access path that provides the "interesting order"
+// for sort-merge joins. Without an index it falls back to materialize +
+// sort (used on samples).
+type IdxScanCol struct {
+	opBase
+	table  *storage.Table
+	alias  string
+	column string
+	index  *catalog.Index
+	cond   expr.Expr
+
+	npreds  int
+	ceiling float64
+	iter    *btree.Iterator
+	sorted  []*schema.Tuple
+	pos     int
+	colIdx  int
+}
+
+// NewIdxScanCol builds a column-ordered index scan. index may be nil
+// (fallback sort mode); cond may be nil.
+func NewIdxScanCol(table *storage.Table, alias, column string, index *catalog.Index, cond expr.Expr) (*IdxScanCol, error) {
+	s := &IdxScanCol{table: table, alias: alias, column: column, index: index, cond: cond}
+	s.sch = aliasedSchema(table, alias)
+	s.colIdx = s.sch.ColumnIndex(alias, column)
+	if s.colIdx < 0 {
+		return nil, fmt.Errorf("exec: table %s has no column %q", alias, column)
+	}
+	if cond != nil {
+		if err := expr.Bind(cond, s.sch); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SortColumn returns the column the output is ordered by.
+func (s *IdxScanCol) SortColumn() string { return s.column }
+
+// Open implements Operator.
+func (s *IdxScanCol) Open(ctx *Context) error {
+	s.reset()
+	s.npreds = ctx.Spec.N()
+	s.ceiling = ctx.Spec.CeilingScore()
+	s.pos = 0
+	s.sorted = nil
+	if s.index != nil {
+		s.iter = s.index.Tree.Ascend()
+		return nil
+	}
+	s.sorted = make([]*schema.Tuple, 0, s.table.NumRows())
+	s.table.Scan(func(tid schema.TID, row []types.Value) bool {
+		t := schema.NewTuple(tid, row, s.npreds)
+		t.Score = s.ceiling
+		s.sorted = append(s.sorted, t)
+		return true
+	})
+	ci := s.colIdx
+	sort.SliceStable(s.sorted, func(i, j int) bool {
+		return types.Compare(s.sorted[i].Values[ci], s.sorted[j].Values[ci]) < 0
+	})
+	return nil
+}
+
+// Next implements Operator.
+func (s *IdxScanCol) Next(ctx *Context) (*schema.Tuple, error) {
+	for {
+		if err := ctx.interrupted(); err != nil {
+			return nil, err
+		}
+		var t *schema.Tuple
+		if s.index != nil {
+			e, ok := s.iter.Next()
+			if !ok {
+				return nil, nil
+			}
+			row := s.table.Row(e.TID)
+			t = schema.NewTuple(e.TID, row, s.npreds)
+			t.Score = s.ceiling
+		} else {
+			if s.pos >= len(s.sorted) {
+				return nil, nil
+			}
+			t = s.sorted[s.pos]
+			s.pos++
+		}
+		ctx.Stats.TuplesScanned++
+		if s.cond != nil {
+			ctx.Stats.Comparisons++
+			ok, err := expr.EvalBool(s.cond, t)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		return s.emit(t), nil
+	}
+}
+
+// Close implements Operator.
+func (s *IdxScanCol) Close() error {
+	s.iter = nil
+	s.sorted = nil
+	return nil
+}
+
+// Evaluated implements Operator.
+func (s *IdxScanCol) Evaluated() schema.Bitset { return 0 }
+
+// Name implements Operator.
+func (s *IdxScanCol) Name() string {
+	if s.cond != nil {
+		return fmt.Sprintf("idxScan_%s(%s | %s)", s.column, s.alias, s.cond)
+	}
+	return fmt.Sprintf("idxScan_%s(%s)", s.column, s.alias)
+}
+
+// Children implements Operator.
+func (s *IdxScanCol) Children() []Operator { return nil }
+
+// StaticSource replays a fixed list of tuples; used by tests and by the
+// optimizer's estimator.
+type StaticSource struct {
+	opBase
+	label  string
+	tuples []*schema.Tuple
+	eval   schema.Bitset
+	pos    int
+}
+
+// NewStaticSource builds a source that replays tuples with the given output
+// schema and declared evaluated set.
+func NewStaticSource(label string, sch *schema.Schema, eval schema.Bitset, tuples []*schema.Tuple) *StaticSource {
+	s := &StaticSource{label: label, tuples: tuples, eval: eval}
+	s.sch = sch
+	return s
+}
+
+// Open implements Operator.
+func (s *StaticSource) Open(*Context) error { s.pos = 0; s.reset(); return nil }
+
+// Next implements Operator.
+func (s *StaticSource) Next(ctx *Context) (*schema.Tuple, error) {
+	if s.pos >= len(s.tuples) {
+		return nil, nil
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return s.emit(t), nil
+}
+
+// Close implements Operator.
+func (s *StaticSource) Close() error { return nil }
+
+// Evaluated implements Operator.
+func (s *StaticSource) Evaluated() schema.Bitset { return s.eval }
+
+// Name implements Operator.
+func (s *StaticSource) Name() string { return "source(" + s.label + ")" }
+
+// Children implements Operator.
+func (s *StaticSource) Children() []Operator { return nil }

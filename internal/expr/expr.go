@@ -1,0 +1,439 @@
+// Package expr implements scalar and Boolean expressions: the membership
+// dimension of the rank-relational model. Expressions are built as an AST
+// (by the SQL parser or programmatically), bound against a schema to
+// resolve column references to positions, and evaluated per tuple.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+// Expr is a bound or unbound expression node.
+type Expr interface {
+	// Eval evaluates the expression against a tuple. The expression must
+	// have been bound against the tuple's schema first.
+	Eval(t *schema.Tuple) (types.Value, error)
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// Const is a literal value.
+type Const struct {
+	Val types.Value
+}
+
+// NewConst wraps a value as a constant expression.
+func NewConst(v types.Value) *Const { return &Const{Val: v} }
+
+// Eval implements Expr.
+func (c *Const) Eval(*schema.Tuple) (types.Value, error) { return c.Val, nil }
+
+// String implements Expr.
+func (c *Const) String() string {
+	if c.Val.Kind() == types.KindString {
+		return "'" + c.Val.Str() + "'"
+	}
+	return c.Val.String()
+}
+
+// Col is a column reference. Table may be empty for unqualified references.
+// Index is resolved by Bind; -1 means unbound.
+type Col struct {
+	Table string
+	Name  string
+	Index int
+}
+
+// NewCol returns an unbound column reference.
+func NewCol(table, name string) *Col { return &Col{Table: table, Name: name, Index: -1} }
+
+// Eval implements Expr.
+func (c *Col) Eval(t *schema.Tuple) (types.Value, error) {
+	if c.Index < 0 {
+		return types.Null(), fmt.Errorf("expr: unbound column %s", c.String())
+	}
+	if c.Index >= len(t.Values) {
+		return types.Null(), fmt.Errorf("expr: column %s index %d out of range %d", c.String(), c.Index, len(t.Values))
+	}
+	return t.Values[c.Index], nil
+}
+
+// String implements Expr.
+func (c *Col) String() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR",
+}
+
+// String returns the operator's SQL spelling.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether op is a comparison operator.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// NewBinary builds a binary expression.
+func NewBinary(op BinOp, l, r Expr) *Binary { return &Binary{Op: op, L: l, R: r} }
+
+// Convenience constructors for common shapes.
+
+// Eq builds l = r.
+func Eq(l, r Expr) *Binary { return NewBinary(OpEq, l, r) }
+
+// Lt builds l < r.
+func Lt(l, r Expr) *Binary { return NewBinary(OpLt, l, r) }
+
+// Gt builds l > r.
+func Gt(l, r Expr) *Binary { return NewBinary(OpGt, l, r) }
+
+// And conjoins expressions (returns TRUE constant for no arguments).
+func And(es ...Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = NewBinary(OpAnd, out, e)
+		}
+	}
+	if out == nil {
+		return NewConst(types.NewBool(true))
+	}
+	return out
+}
+
+// Eval implements Expr.
+func (b *Binary) Eval(t *schema.Tuple) (types.Value, error) {
+	// Short-circuit logical operators.
+	switch b.Op {
+	case OpAnd:
+		lv, err := b.L.Eval(t)
+		if err != nil {
+			return types.Null(), err
+		}
+		if !lv.IsNull() && !lv.Truthy() {
+			return types.NewBool(false), nil
+		}
+		rv, err := b.R.Eval(t)
+		if err != nil {
+			return types.Null(), err
+		}
+		if !rv.IsNull() && !rv.Truthy() {
+			return types.NewBool(false), nil
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return types.Null(), nil
+		}
+		return types.NewBool(true), nil
+	case OpOr:
+		lv, err := b.L.Eval(t)
+		if err != nil {
+			return types.Null(), err
+		}
+		if !lv.IsNull() && lv.Truthy() {
+			return types.NewBool(true), nil
+		}
+		rv, err := b.R.Eval(t)
+		if err != nil {
+			return types.Null(), err
+		}
+		if !rv.IsNull() && rv.Truthy() {
+			return types.NewBool(true), nil
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return types.Null(), nil
+		}
+		return types.NewBool(false), nil
+	}
+
+	lv, err := b.L.Eval(t)
+	if err != nil {
+		return types.Null(), err
+	}
+	rv, err := b.R.Eval(t)
+	if err != nil {
+		return types.Null(), err
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return types.Null(), nil
+	}
+
+	if b.Op.IsComparison() {
+		cmp := types.Compare(lv, rv)
+		var res bool
+		switch b.Op {
+		case OpEq:
+			res = cmp == 0
+		case OpNe:
+			res = cmp != 0
+		case OpLt:
+			res = cmp < 0
+		case OpLe:
+			res = cmp <= 0
+		case OpGt:
+			res = cmp > 0
+		case OpGe:
+			res = cmp >= 0
+		}
+		return types.NewBool(res), nil
+	}
+
+	// Arithmetic. Integer op integer stays integral except division.
+	if lv.Kind() == types.KindInt && rv.Kind() == types.KindInt && b.Op != OpDiv {
+		li, ri := lv.Int(), rv.Int()
+		switch b.Op {
+		case OpAdd:
+			return types.NewInt(li + ri), nil
+		case OpSub:
+			return types.NewInt(li - ri), nil
+		case OpMul:
+			return types.NewInt(li * ri), nil
+		case OpMod:
+			if ri == 0 {
+				return types.Null(), fmt.Errorf("expr: modulo by zero")
+			}
+			return types.NewInt(li % ri), nil
+		}
+	}
+	lf, lok := lv.AsFloat()
+	rf, rok := rv.AsFloat()
+	if !lok || !rok {
+		return types.Null(), fmt.Errorf("expr: %s not defined on %s and %s", b.Op, lv.Kind(), rv.Kind())
+	}
+	switch b.Op {
+	case OpAdd:
+		return types.NewFloat(lf + rf), nil
+	case OpSub:
+		return types.NewFloat(lf - rf), nil
+	case OpMul:
+		return types.NewFloat(lf * rf), nil
+	case OpDiv:
+		if rf == 0 {
+			return types.Null(), fmt.Errorf("expr: division by zero")
+		}
+		return types.NewFloat(lf / rf), nil
+	case OpMod:
+		return types.Null(), fmt.Errorf("expr: %% not defined on floats")
+	}
+	return types.Null(), fmt.Errorf("expr: unhandled operator %v", b.Op)
+}
+
+// String implements Expr.
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Not negates a Boolean expression.
+type Not struct {
+	E Expr
+}
+
+// NewNot builds NOT e.
+func NewNot(e Expr) *Not { return &Not{E: e} }
+
+// Eval implements Expr.
+func (n *Not) Eval(t *schema.Tuple) (types.Value, error) {
+	v, err := n.E.Eval(t)
+	if err != nil {
+		return types.Null(), err
+	}
+	if v.IsNull() {
+		return types.Null(), nil
+	}
+	return types.NewBool(!v.Truthy()), nil
+}
+
+// String implements Expr.
+func (n *Not) String() string { return "NOT " + n.E.String() }
+
+// IsNull tests a value for NULL-ness.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (e *IsNull) Eval(t *schema.Tuple) (types.Value, error) {
+	v, err := e.E.Eval(t)
+	if err != nil {
+		return types.Null(), err
+	}
+	return types.NewBool(v.IsNull() != e.Negate), nil
+}
+
+// String implements Expr.
+func (e *IsNull) String() string {
+	if e.Negate {
+		return e.E.String() + " IS NOT NULL"
+	}
+	return e.E.String() + " IS NULL"
+}
+
+// Walk visits e and its children depth-first, pre-order.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case *Binary:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *Not:
+		Walk(n.E, fn)
+	case *IsNull:
+		Walk(n.E, fn)
+	}
+}
+
+// Bind resolves every column reference in e against sch. Returns an error
+// for unresolvable or ambiguous references.
+func Bind(e Expr, sch *schema.Schema) error {
+	var err error
+	Walk(e, func(n Expr) {
+		c, ok := n.(*Col)
+		if !ok || err != nil {
+			return
+		}
+		idx := sch.ColumnIndex(c.Table, c.Name)
+		switch idx {
+		case -1:
+			err = fmt.Errorf("expr: column %s not found in %s", c, sch)
+		case -2:
+			err = fmt.Errorf("expr: column %s is ambiguous in %s", c, sch)
+		default:
+			c.Index = idx
+		}
+	})
+	return err
+}
+
+// Clone deep-copies an expression tree (so one AST can be bound against
+// several schemas, e.g. when the optimizer places the same filter in
+// alternative subplans).
+func Clone(e Expr) Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *Const:
+		c := *n
+		return &c
+	case *Col:
+		c := *n
+		return &c
+	case *Binary:
+		return &Binary{Op: n.Op, L: Clone(n.L), R: Clone(n.R)}
+	case *Not:
+		return &Not{E: Clone(n.E)}
+	case *IsNull:
+		return &IsNull{E: Clone(n.E), Negate: n.Negate}
+	default:
+		panic(fmt.Sprintf("expr: Clone of unknown node %T", e))
+	}
+}
+
+// SplitConjuncts flattens nested ANDs into a list of conjuncts. A non-AND
+// expression is returned as a single-element list; nil yields nil.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	// Drop constant TRUE conjuncts.
+	if c, ok := e.(*Const); ok && c.Val.Kind() == types.KindBool && c.Val.Bool() {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// Columns returns the distinct column references in e, in first-seen order.
+func Columns(e Expr) []*Col {
+	var cols []*Col
+	seen := map[string]bool{}
+	Walk(e, func(n Expr) {
+		if c, ok := n.(*Col); ok {
+			key := strings.ToLower(c.Table + "." + c.Name)
+			if !seen[key] {
+				seen[key] = true
+				cols = append(cols, c)
+			}
+		}
+	})
+	return cols
+}
+
+// Tables returns the set of table qualifiers referenced by e.
+func Tables(e Expr) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range Columns(e) {
+		if c.Table != "" {
+			out[c.Table] = true
+		}
+	}
+	return out
+}
+
+// EquiJoin reports whether e is an equality between columns of two distinct
+// tables (t1.a = t2.b), returning the two sides.
+func EquiJoin(e Expr) (l, r *Col, ok bool) {
+	b, isBin := e.(*Binary)
+	if !isBin || b.Op != OpEq {
+		return nil, nil, false
+	}
+	lc, lok := b.L.(*Col)
+	rc, rok := b.R.(*Col)
+	if !lok || !rok || lc.Table == "" || rc.Table == "" || strings.EqualFold(lc.Table, rc.Table) {
+		return nil, nil, false
+	}
+	return lc, rc, true
+}
+
+// EvalBool evaluates e as a WHERE-clause condition: NULL counts as false.
+func EvalBool(e Expr, t *schema.Tuple) (bool, error) {
+	v, err := e.Eval(t)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Truthy(), nil
+}

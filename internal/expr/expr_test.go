@@ -1,0 +1,201 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+func testSchema() *schema.Schema {
+	return schema.NewSchema(
+		schema.Column{Table: "t", Name: "a", Kind: types.KindInt},
+		schema.Column{Table: "t", Name: "b", Kind: types.KindFloat},
+		schema.Column{Table: "t", Name: "s", Kind: types.KindString},
+		schema.Column{Table: "u", Name: "a", Kind: types.KindInt},
+		schema.Column{Table: "u", Name: "flag", Kind: types.KindBool},
+	)
+}
+
+func testTuple() *schema.Tuple {
+	return &schema.Tuple{Values: []types.Value{
+		types.NewInt(3), types.NewFloat(1.5), types.NewString("hi"),
+		types.NewInt(7), types.NewBool(true),
+	}}
+}
+
+func evalOn(t *testing.T, e Expr) types.Value {
+	t.Helper()
+	if err := Bind(e, testSchema()); err != nil {
+		t.Fatalf("bind %s: %v", e, err)
+	}
+	v, err := e.Eval(testTuple())
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want types.Value
+	}{
+		{NewBinary(OpAdd, NewCol("t", "a"), NewConst(types.NewInt(4))), types.NewInt(7)},
+		{NewBinary(OpSub, NewCol("t", "a"), NewConst(types.NewInt(1))), types.NewInt(2)},
+		{NewBinary(OpMul, NewCol("t", "a"), NewCol("t", "b")), types.NewFloat(4.5)},
+		{NewBinary(OpDiv, NewCol("u", "a"), NewConst(types.NewInt(2))), types.NewFloat(3.5)},
+		{NewBinary(OpMod, NewCol("u", "a"), NewConst(types.NewInt(4))), types.NewInt(3)},
+	}
+	for _, c := range cases {
+		got := evalOn(t, c.e)
+		if types.Compare(got, c.want) != 0 {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	tru := func(e Expr) {
+		t.Helper()
+		if v := evalOn(t, e); !v.Truthy() {
+			t.Errorf("%s should be true", e)
+		}
+	}
+	fls := func(e Expr) {
+		t.Helper()
+		if v := evalOn(t, e); v.Truthy() {
+			t.Errorf("%s should be false", e)
+		}
+	}
+	tru(Eq(NewCol("t", "a"), NewConst(types.NewInt(3))))
+	tru(Lt(NewCol("t", "b"), NewConst(types.NewFloat(2))))
+	tru(Gt(NewCol("u", "a"), NewCol("t", "a")))
+	fls(Eq(NewCol("t", "s"), NewConst(types.NewString("bye"))))
+	tru(NewBinary(OpAnd, NewCol("u", "flag"), Gt(NewCol("t", "a"), NewConst(types.NewInt(0)))))
+	fls(NewBinary(OpAnd, NewCol("u", "flag"), Gt(NewCol("t", "a"), NewConst(types.NewInt(99)))))
+	tru(NewBinary(OpOr, NewNot(NewCol("u", "flag")), NewCol("u", "flag")))
+	tru(NewBinary(OpNe, NewCol("t", "a"), NewCol("u", "a")))
+	tru(NewBinary(OpLe, NewCol("t", "a"), NewConst(types.NewInt(3))))
+	tru(NewBinary(OpGe, NewCol("t", "a"), NewConst(types.NewInt(3))))
+}
+
+func TestNullSemantics(t *testing.T) {
+	null := NewConst(types.Null())
+	// NULL = 3 → NULL; NULL AND false → false; NULL OR true → true.
+	if v := evalOn(t, Eq(null, NewConst(types.NewInt(3)))); !v.IsNull() {
+		t.Error("NULL = 3 should be NULL")
+	}
+	if v := evalOn(t, NewBinary(OpAnd, null, NewConst(types.NewBool(false)))); v.IsNull() || v.Truthy() {
+		t.Error("NULL AND false should be false")
+	}
+	if v := evalOn(t, NewBinary(OpOr, null, NewConst(types.NewBool(true)))); !v.Truthy() {
+		t.Error("NULL OR true should be true")
+	}
+	if v := evalOn(t, NewBinary(OpAnd, null, NewConst(types.NewBool(true)))); !v.IsNull() {
+		t.Error("NULL AND true should be NULL")
+	}
+	if v := evalOn(t, &IsNull{E: null}); !v.Truthy() {
+		t.Error("NULL IS NULL should be true")
+	}
+	if v := evalOn(t, &IsNull{E: NewCol("t", "a"), Negate: true}); !v.Truthy() {
+		t.Error("a IS NOT NULL should be true")
+	}
+	// EvalBool treats NULL as false.
+	e := Eq(null, null)
+	if err := Bind(e, testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := EvalBool(e, testTuple())
+	if err != nil || ok {
+		t.Error("EvalBool(NULL) should be false")
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	e := NewBinary(OpDiv, NewConst(types.NewInt(1)), NewConst(types.NewInt(0)))
+	if err := Bind(e, testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(testTuple()); err == nil {
+		t.Error("division by zero should error")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	if err := Bind(NewCol("t", "zzz"), testSchema()); err == nil {
+		t.Error("unknown column must fail to bind")
+	}
+	// "a" is ambiguous between t.a and u.a.
+	if err := Bind(NewCol("", "a"), testSchema()); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous column should fail: %v", err)
+	}
+	if err := Bind(NewCol("", "flag"), testSchema()); err != nil {
+		t.Errorf("unique unqualified column should bind: %v", err)
+	}
+}
+
+func TestSplitConjunctsAndHelpers(t *testing.T) {
+	c1 := Eq(NewCol("t", "a"), NewCol("u", "a"))
+	c2 := Gt(NewCol("t", "b"), NewConst(types.NewFloat(0)))
+	c3 := NewCol("u", "flag")
+	e := And(c1, c2, c3)
+	parts := SplitConjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("split into %d, want 3", len(parts))
+	}
+	if len(SplitConjuncts(nil)) != 0 {
+		t.Error("nil should split to nothing")
+	}
+	if And() == nil {
+		t.Error("And() should produce TRUE")
+	}
+
+	l, r, ok := EquiJoin(c1)
+	if !ok || l.Table != "t" || r.Table != "u" {
+		t.Errorf("EquiJoin failed: %v %v %v", l, r, ok)
+	}
+	if _, _, ok := EquiJoin(c2); ok {
+		t.Error("non-join comparison detected as equi-join")
+	}
+	if _, _, ok := EquiJoin(Eq(NewCol("t", "a"), NewCol("t", "b"))); ok {
+		t.Error("same-table equality is not a join")
+	}
+
+	tabs := Tables(e)
+	if !tabs["t"] || !tabs["u"] || len(tabs) != 2 {
+		t.Errorf("Tables = %v", tabs)
+	}
+	cols := Columns(e)
+	if len(cols) != 4 {
+		t.Errorf("Columns found %d, want 4 distinct", len(cols))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := Eq(NewCol("t", "a"), NewConst(types.NewInt(1)))
+	cp := Clone(orig)
+	if err := Bind(cp, testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	// The original's column must remain unbound.
+	if orig.L.(*Col).Index != -1 {
+		t.Error("Clone shares column nodes with the original")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := NewBinary(OpAnd,
+		Eq(NewCol("t", "a"), NewConst(types.NewInt(1))),
+		NewNot(NewCol("u", "flag")))
+	s := e.String()
+	for _, want := range []string{"t.a", "= 1", "NOT", "u.flag", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render %q missing %q", s, want)
+		}
+	}
+	if NewConst(types.NewString("x")).String() != "'x'" {
+		t.Error("string constants should be quoted")
+	}
+}

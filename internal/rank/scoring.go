@@ -1,0 +1,204 @@
+// Package rank implements the ranking side of the rank-relational model:
+// ranking predicates (scored, possibly expensive functions over tuple
+// attributes) and monotonic scoring functions F(p1, ..., pn) with
+// maximal-possible-score (upper bound) computation.
+//
+// The Ranking Principle (Property 1 of the paper) states that with a set P
+// of evaluated predicates, the maximal-possible score of a tuple t is
+// F with p_i = p_i[t] for p_i in P and p_i = max(p_i) otherwise. Because F
+// is monotone this upper-bounds every completion of t's score, so streaming
+// tuples in non-increasing F_P order is consistent with any further
+// processing.
+package rank
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ranksql/internal/schema"
+)
+
+// ScoringFunc is a monotonic scoring function over n ranking predicates.
+// Implementations must be monotone: increasing any input never decreases
+// the output. UpperBound substitutes each unevaluated predicate with its
+// maximal value.
+type ScoringFunc interface {
+	// N is the number of ranking predicates the function aggregates.
+	N() int
+	// Score computes F with every predicate evaluated.
+	Score(preds []float64) float64
+	// UpperBound computes F_P: evaluated predicates contribute their
+	// score; the rest contribute maxes[i].
+	UpperBound(preds []float64, evaluated schema.Bitset, maxes []float64) float64
+	// String names the function for EXPLAIN output.
+	String() string
+}
+
+// Sum is the summation scoring function F = w1*p1 + ... + wn*pn.
+// With all weights 1 it is the plain sum the paper uses throughout.
+type Sum struct {
+	Weights []float64
+}
+
+// NewSum returns an unweighted summation over n predicates.
+func NewSum(n int) *Sum {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return &Sum{Weights: w}
+}
+
+// NewWeightedSum returns a weighted summation. Weights must be
+// non-negative for monotonicity.
+func NewWeightedSum(weights []float64) *Sum {
+	return &Sum{Weights: weights}
+}
+
+// N implements ScoringFunc.
+func (s *Sum) N() int { return len(s.Weights) }
+
+// Score implements ScoringFunc.
+func (s *Sum) Score(preds []float64) float64 {
+	total := 0.0
+	for i, w := range s.Weights {
+		total += w * preds[i]
+	}
+	return total
+}
+
+// UpperBound implements ScoringFunc.
+func (s *Sum) UpperBound(preds []float64, evaluated schema.Bitset, maxes []float64) float64 {
+	total := 0.0
+	for i, w := range s.Weights {
+		if evaluated.Has(i) {
+			total += w * preds[i]
+		} else {
+			total += w * maxes[i]
+		}
+	}
+	return total
+}
+
+// String implements ScoringFunc.
+func (s *Sum) String() string {
+	uniform := true
+	for _, w := range s.Weights {
+		if w != 1 {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return fmt.Sprintf("sum(%d preds)", len(s.Weights))
+	}
+	parts := make([]string, len(s.Weights))
+	for i, w := range s.Weights {
+		parts[i] = fmt.Sprintf("%g*p%d", w, i+1)
+	}
+	return strings.Join(parts, "+")
+}
+
+// Product multiplies predicate scores: F = p1 * ... * pn. Monotone on
+// non-negative scores (the paper's predicates range over [0, 1]).
+type Product struct{ n int }
+
+// NewProduct returns a product scoring function over n predicates.
+func NewProduct(n int) *Product { return &Product{n: n} }
+
+// N implements ScoringFunc.
+func (p *Product) N() int { return p.n }
+
+// Score implements ScoringFunc.
+func (p *Product) Score(preds []float64) float64 {
+	total := 1.0
+	for i := 0; i < p.n; i++ {
+		total *= preds[i]
+	}
+	return total
+}
+
+// UpperBound implements ScoringFunc.
+func (p *Product) UpperBound(preds []float64, evaluated schema.Bitset, maxes []float64) float64 {
+	total := 1.0
+	for i := 0; i < p.n; i++ {
+		if evaluated.Has(i) {
+			total *= preds[i]
+		} else {
+			total *= maxes[i]
+		}
+	}
+	return total
+}
+
+// String implements ScoringFunc.
+func (p *Product) String() string { return fmt.Sprintf("product(%d preds)", p.n) }
+
+// Min scores by the minimum predicate value (fuzzy conjunction).
+type Min struct{ n int }
+
+// NewMin returns a min scoring function over n predicates.
+func NewMin(n int) *Min { return &Min{n: n} }
+
+// N implements ScoringFunc.
+func (m *Min) N() int { return m.n }
+
+// Score implements ScoringFunc.
+func (m *Min) Score(preds []float64) float64 {
+	lo := math.Inf(1)
+	for i := 0; i < m.n; i++ {
+		lo = math.Min(lo, preds[i])
+	}
+	return lo
+}
+
+// UpperBound implements ScoringFunc.
+func (m *Min) UpperBound(preds []float64, evaluated schema.Bitset, maxes []float64) float64 {
+	lo := math.Inf(1)
+	for i := 0; i < m.n; i++ {
+		if evaluated.Has(i) {
+			lo = math.Min(lo, preds[i])
+		} else {
+			lo = math.Min(lo, maxes[i])
+		}
+	}
+	return lo
+}
+
+// String implements ScoringFunc.
+func (m *Min) String() string { return fmt.Sprintf("min(%d preds)", m.n) }
+
+// Max scores by the maximum predicate value (fuzzy disjunction).
+type Max struct{ n int }
+
+// NewMax returns a max scoring function over n predicates.
+func NewMax(n int) *Max { return &Max{n: n} }
+
+// N implements ScoringFunc.
+func (m *Max) N() int { return m.n }
+
+// Score implements ScoringFunc.
+func (m *Max) Score(preds []float64) float64 {
+	hi := math.Inf(-1)
+	for i := 0; i < m.n; i++ {
+		hi = math.Max(hi, preds[i])
+	}
+	return hi
+}
+
+// UpperBound implements ScoringFunc.
+func (m *Max) UpperBound(preds []float64, evaluated schema.Bitset, maxes []float64) float64 {
+	hi := math.Inf(-1)
+	for i := 0; i < m.n; i++ {
+		if evaluated.Has(i) {
+			hi = math.Max(hi, preds[i])
+		} else {
+			hi = math.Max(hi, maxes[i])
+		}
+	}
+	return hi
+}
+
+// String implements ScoringFunc.
+func (m *Max) String() string { return fmt.Sprintf("max(%d preds)", m.n) }

@@ -1,0 +1,122 @@
+package sql
+
+import (
+	"ranksql/internal/expr"
+	"ranksql/internal/types"
+)
+
+// Stmt is a parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// TableRef is one FROM entry.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// OrderTerm is one summand of the ORDER BY scoring function: either a
+// (weighted) scorer call f(args...), or an opaque arithmetic expression
+// (Expr non-nil) treated as a single ranking predicate.
+type OrderTerm struct {
+	Weight float64 // multiplicative weight; 1 by default
+	Scorer string  // registered scorer name; "" for opaque terms
+	Args   []*expr.Col
+	Expr   expr.Expr // opaque expression term
+}
+
+// SelectStmt is SELECT ... FROM ... WHERE ... ORDER BY ... LIMIT.
+type SelectStmt struct {
+	Projection []*expr.Col // nil = SELECT *
+	Tables     []TableRef
+	Where      expr.Expr
+	Order      []OrderTerm
+	// Limit is the k of LIMIT k; 0 = absent.
+	Limit int
+	// Explain marks EXPLAIN SELECT.
+	Explain bool
+}
+
+func (*SelectStmt) stmt() {}
+
+// SetOpKind selects a set operation between two SELECTs.
+type SetOpKind int
+
+// Set operation kinds (set semantics, as in the rank-relational algebra).
+const (
+	SetUnion SetOpKind = iota
+	SetIntersect
+	SetExcept
+)
+
+// String names the operation.
+func (k SetOpKind) String() string {
+	switch k {
+	case SetUnion:
+		return "UNION"
+	case SetIntersect:
+		return "INTERSECT"
+	default:
+		return "EXCEPT"
+	}
+}
+
+// SetOpStmt is `select UNION|INTERSECT|EXCEPT select [ORDER BY ...]
+// [LIMIT k]`. The operand SELECTs must be union-compatible and carry no
+// ORDER BY/LIMIT of their own; the outer ranking applies to the combined
+// result, executed with the rank-aware set operators of the algebra
+// (Figure 3).
+type SetOpStmt struct {
+	Kind    SetOpKind
+	L, R    *SelectStmt
+	Order   []OrderTerm
+	Limit   int
+	Explain bool
+}
+
+func (*SetOpStmt) stmt() {}
+
+// ColumnDef is a CREATE TABLE column.
+type ColumnDef struct {
+	Name string
+	Kind types.Kind
+}
+
+// CreateTableStmt is CREATE TABLE name (cols...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateIndexStmt is CREATE INDEX ON t (col).
+type CreateIndexStmt struct {
+	Table  string
+	Column string
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// CreateRankIndexStmt is CREATE RANK INDEX ON t (scorer(col, ...)).
+type CreateRankIndexStmt struct {
+	Table   string
+	Scorer  string
+	Columns []string
+}
+
+func (*CreateRankIndexStmt) stmt() {}
+
+// InsertStmt is INSERT INTO t VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]types.Value
+}
+
+func (*InsertStmt) stmt() {}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct {
+	Name string
+}
+
+func (*DropTableStmt) stmt() {}

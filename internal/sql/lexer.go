@@ -1,0 +1,180 @@
+// Package sql implements RankSQL's SQL front end: a lexer, a recursive-
+// descent parser for the supported dialect, and a binder that turns parsed
+// statements into optimizer queries with rank-relational ranking
+// specifications.
+//
+// Supported statements (PostgreSQL-flavoured, as the paper's examples):
+//
+//	SELECT <cols|*> FROM t [alias], ...
+//	    [WHERE <bool expr>]
+//	    [ORDER BY <score expr> [DESC]] [LIMIT k]
+//	CREATE TABLE t (col TYPE, ...)
+//	CREATE INDEX ON t (col)
+//	CREATE RANK INDEX ON t (scorer(col, ...))
+//	INSERT INTO t VALUES (...), (...)
+//	EXPLAIN SELECT ...
+//
+// The ORDER BY of a ranking query is a sum of (optionally weighted) calls
+// to registered scorer functions — the ranking predicates p_i of the
+// paper — or an arbitrary arithmetic expression, which is treated as one
+// opaque ranking predicate.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single/multi char punctuation: ( ) , . * + - / % = <> < <= > >= ;
+)
+
+type token struct {
+	kind tokenKind
+	text string // punctuation text or raw identifier/number/string
+	pos  int
+}
+
+// lexer splits SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			seenDot, seenExp := false, false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch >= '0' && ch <= '9' {
+					l.pos++
+					continue
+				}
+				if ch == '.' && !seenDot && !seenExp {
+					seenDot = true
+					l.pos++
+					continue
+				}
+				if (ch == 'e' || ch == 'E') && !seenExp {
+					seenExp = true
+					l.pos++
+					if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+						l.pos++
+					}
+					continue
+				}
+				break
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					closed = true
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		case strings.ContainsRune("(),.*+-/%;", rune(c)):
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: start})
+		case c == '=':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokPunct, text: "=", pos: start})
+		case c == '<':
+			l.pos++
+			switch {
+			case l.pos < len(l.src) && l.src[l.pos] == '=':
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokPunct, text: "<=", pos: start})
+			case l.pos < len(l.src) && l.src[l.pos] == '>':
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokPunct, text: "<>", pos: start})
+			default:
+				l.toks = append(l.toks, token{kind: tokPunct, text: "<", pos: start})
+			}
+		case c == '>':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokPunct, text: ">=", pos: start})
+			} else {
+				l.toks = append(l.toks, token{kind: tokPunct, text: ">", pos: start})
+			}
+		case c == '!':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokPunct, text: "<>", pos: start})
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", start)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

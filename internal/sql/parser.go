@@ -1,0 +1,751 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ranksql/internal/expr"
+	"ranksql/internal/types"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SQL statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	p.acceptPunct(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: unexpected trailing input at %q", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// acceptKeyword consumes the keyword if present (case-insensitive).
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s near %q", strings.ToUpper(kw), p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("sql: expected %q near %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier near %q", p.cur().text)
+	}
+	return p.advance().text, nil
+}
+
+// keywords that terminate identifier-ish positions.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "order": true, "by": true,
+	"limit": true, "and": true, "or": true, "not": true, "as": true,
+	"asc": true, "desc": true, "is": true, "null": true, "true": true,
+	"false": true, "values": true, "insert": true, "into": true,
+	"create": true, "table": true, "index": true, "rank": true, "on": true,
+	"explain": true, "drop": true, "union": true, "intersect": true,
+	"except": true,
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	return p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw)
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.peekKeyword("explain"):
+		p.advance()
+		st, err := p.parseSelectOrSetOp()
+		if err != nil {
+			return nil, err
+		}
+		switch s := st.(type) {
+		case *SelectStmt:
+			s.Explain = true
+		case *SetOpStmt:
+			s.Explain = true
+		}
+		return st, nil
+	case p.peekKeyword("select"):
+		return p.parseSelectOrSetOp()
+	case p.peekKeyword("create"):
+		return p.parseCreate()
+	case p.peekKeyword("insert"):
+		return p.parseInsert()
+	case p.peekKeyword("drop"):
+		p.advance()
+		if err := p.expectKeyword("table"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Name: name}, nil
+	default:
+		return nil, fmt.Errorf("sql: expected statement, got %q", p.cur().text)
+	}
+}
+
+// parseSelectOrSetOp parses a SELECT, optionally combined with another
+// SELECT by UNION / INTERSECT / EXCEPT. The trailing ORDER BY / LIMIT
+// belong to the combined statement.
+func (p *parser) parseSelectOrSetOp() (Stmt, error) {
+	left, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	var kind SetOpKind
+	switch {
+	case p.acceptKeyword("union"):
+		kind = SetUnion
+	case p.acceptKeyword("intersect"):
+		kind = SetIntersect
+	case p.acceptKeyword("except"):
+		kind = SetExcept
+	default:
+		return left, nil
+	}
+	if len(left.Order) > 0 || left.Limit > 0 {
+		return nil, fmt.Errorf("sql: ORDER BY/LIMIT must follow the %s, not the first operand", kind)
+	}
+	right, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	st := &SetOpStmt{Kind: kind, L: left, R: right}
+	// The right operand's parser consumed the trailing ORDER BY / LIMIT;
+	// move them to the combined statement.
+	st.Order, right.Order = right.Order, nil
+	st.Limit, right.Limit = right.Limit, 0
+	return st, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{}
+	if p.acceptPunct("*") {
+		// SELECT *
+	} else {
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			st.Projection = append(st.Projection, c)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		tr := TableRef{Name: name, Alias: name}
+		if p.acceptKeyword("as") {
+			alias, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			tr.Alias = alias
+		} else if p.cur().kind == tokIdent && !reserved[strings.ToLower(p.cur().text)] {
+			tr.Alias = p.advance().text
+		}
+		st.Tables = append(st.Tables, tr)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		terms, err := p.parseOrder()
+		if err != nil {
+			return nil, err
+		}
+		st.Order = terms
+		if p.acceptKeyword("desc") {
+			// Descending is the ranking default: top-k by highest score.
+		} else if p.acceptKeyword("asc") {
+			return nil, fmt.Errorf("sql: ascending top-k is not supported; rewrite the scoring function so that larger is better")
+		}
+	}
+	if p.acceptKeyword("limit") {
+		if p.cur().kind != tokNumber {
+			return nil, fmt.Errorf("sql: LIMIT expects a number, got %q", p.cur().text)
+		}
+		n, err := strconv.Atoi(p.advance().text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %v", err)
+		}
+		st.Limit = n
+	}
+	return st, nil
+}
+
+// parseOrder parses the scoring function: a '+'-separated list of terms,
+// each a scorer call, weight*call, call*weight, or an opaque arithmetic
+// expression (collected as a single term).
+func (p *parser) parseOrder() ([]OrderTerm, error) {
+	var terms []OrderTerm
+	for {
+		term, err := p.parseOrderTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, term)
+		if !p.acceptPunct("+") {
+			break
+		}
+	}
+	return terms, nil
+}
+
+// parseOrderTerm parses one summand.
+func (p *parser) parseOrderTerm() (OrderTerm, error) {
+	start := p.pos
+	// weight * scorer(args)
+	if p.cur().kind == tokNumber {
+		w, err := strconv.ParseFloat(p.cur().text, 64)
+		if err == nil {
+			save := p.pos
+			p.advance()
+			if p.acceptPunct("*") {
+				if t, ok := p.tryScorerCall(); ok {
+					t.Weight = w
+					return t, nil
+				}
+			}
+			p.pos = save
+		}
+	}
+	// scorer(args) [* weight]
+	if t, ok := p.tryScorerCall(); ok {
+		if p.acceptPunct("*") && p.cur().kind == tokNumber {
+			w, err := strconv.ParseFloat(p.advance().text, 64)
+			if err != nil {
+				return OrderTerm{}, fmt.Errorf("sql: bad weight: %v", err)
+			}
+			t.Weight = w
+		}
+		return t, nil
+	}
+	// Opaque arithmetic term: parse an additive-level-free expression
+	// (multiplicative and below), so '+' still separates predicates.
+	p.pos = start
+	e, err := p.parseMul()
+	if err != nil {
+		return OrderTerm{}, err
+	}
+	return OrderTerm{Weight: 1, Expr: e}, nil
+}
+
+// tryScorerCall parses ident '(' colref (',' colref)* ')' where every
+// argument is a plain column reference — the registered-scorer shape.
+func (p *parser) tryScorerCall() (OrderTerm, bool) {
+	save := p.pos
+	if p.cur().kind != tokIdent || reserved[strings.ToLower(p.cur().text)] {
+		return OrderTerm{}, false
+	}
+	name := p.advance().text
+	if !p.acceptPunct("(") {
+		p.pos = save
+		return OrderTerm{}, false
+	}
+	t := OrderTerm{Weight: 1, Scorer: name}
+	for {
+		c, err := p.parseColumnRef()
+		if err != nil {
+			p.pos = save
+			return OrderTerm{}, false
+		}
+		t.Args = append(t.Args, c)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if !p.acceptPunct(")") {
+		p.pos = save
+		return OrderTerm{}, false
+	}
+	// A scorer call followed by non-additive arithmetic (other than a
+	// weight) is an opaque term; reject here so the caller reparses.
+	if p.cur().kind == tokPunct {
+		switch p.cur().text {
+		case "-", "/", "%":
+			p.pos = save
+			return OrderTerm{}, false
+		}
+	}
+	return t, true
+}
+
+func (p *parser) parseColumnRef() (*expr.Col, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if reserved[strings.ToLower(name)] {
+		return nil, fmt.Errorf("sql: unexpected keyword %q in column position", name)
+	}
+	if p.acceptPunct(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCol(name, col), nil
+	}
+	return expr.NewCol("", name), nil
+}
+
+// Expression grammar: or > and > not > comparison > additive >
+// multiplicative > unary > primary.
+
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewBinary(expr.OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewBinary(expr.OpAnd, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.acceptKeyword("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(e), nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]expr.BinOp{
+	"=": expr.OpEq, "<>": expr.OpNe, "<": expr.OpLt, "<=": expr.OpLe,
+	">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) parseComparison() (expr.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("is") {
+		neg := p.acceptKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{E: l, Negate: neg}, nil
+	}
+	if p.cur().kind == tokPunct {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewBinary(op, l, r), nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (expr.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptPunct("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.NewBinary(expr.OpAdd, l, r)
+		case p.acceptPunct("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.NewBinary(expr.OpSub, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (expr.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptPunct("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.NewBinary(expr.OpMul, l, r)
+		case p.acceptPunct("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.NewBinary(expr.OpDiv, l, r)
+		case p.acceptPunct("%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.NewBinary(expr.OpMod, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.acceptPunct("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewBinary(expr.OpSub, expr.NewConst(types.NewInt(0)), e), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q: %v", t.text, err)
+			}
+			return expr.NewConst(types.NewFloat(f)), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q: %v", t.text, err)
+		}
+		return expr.NewConst(types.NewInt(n)), nil
+	case t.kind == tokString:
+		p.advance()
+		return expr.NewConst(types.NewString(t.text)), nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "true"):
+		p.advance()
+		return expr.NewConst(types.NewBool(true)), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "false"):
+		p.advance()
+		return expr.NewConst(types.NewBool(false)), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "null"):
+		p.advance()
+		return expr.NewConst(types.Null()), nil
+	case t.kind == tokIdent && !reserved[strings.ToLower(t.text)]:
+		return p.parseColumnRef()
+	default:
+		return nil, fmt.Errorf("sql: unexpected token %q in expression", t.text)
+	}
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	if err := p.expectKeyword("create"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("table"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		st := &CreateTableStmt{Name: name}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ty, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := parseType(ty)
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, ColumnDef{Name: col, Kind: kind})
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.acceptKeyword("rank"):
+		if err := p.expectKeyword("index"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		table, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		scorer, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		st := &CreateRankIndexStmt{Table: table, Scorer: scorer}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.acceptKeyword("index"):
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		table, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndexStmt{Table: table, Column: col}, nil
+	default:
+		return nil, fmt.Errorf("sql: expected TABLE, INDEX or RANK INDEX after CREATE, got %q", p.cur().text)
+	}
+}
+
+func parseType(name string) (types.Kind, error) {
+	switch strings.ToLower(name) {
+	case "int", "integer", "bigint", "smallint":
+		return types.KindInt, nil
+	case "float", "double", "real", "numeric", "decimal", "float8":
+		return types.KindFloat, nil
+	case "text", "varchar", "char", "string":
+		return types.KindString, nil
+	case "bool", "boolean":
+		return types.KindBool, nil
+	default:
+		return 0, fmt.Errorf("sql: unknown type %q", name)
+	}
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	if err := p.expectKeyword("insert"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []types.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+// parseLiteral parses a constant (with optional leading minus).
+func (p *parser) parseLiteral() (types.Value, error) {
+	neg := p.acceptPunct("-")
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return types.Null(), err
+			}
+			if neg {
+				f = -f
+			}
+			return types.NewFloat(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return types.Null(), err
+		}
+		if neg {
+			n = -n
+		}
+		return types.NewInt(n), nil
+	case t.kind == tokString && !neg:
+		p.advance()
+		return types.NewString(t.text), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "true") && !neg:
+		p.advance()
+		return types.NewBool(true), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "false") && !neg:
+		p.advance()
+		return types.NewBool(false), nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "null") && !neg:
+		p.advance()
+		return types.Null(), nil
+	default:
+		return types.Null(), fmt.Errorf("sql: expected literal, got %q", t.text)
+	}
+}

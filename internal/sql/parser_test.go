@@ -1,0 +1,236 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"ranksql/internal/expr"
+	"ranksql/internal/types"
+)
+
+func parseSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		t.Fatalf("parse %q: got %T", src, st)
+	}
+	return sel
+}
+
+func TestParseSelectBasic(t *testing.T) {
+	sel := parseSelect(t, `SELECT * FROM Hotel h, Restaurant r WHERE h.price < 100 LIMIT 5`)
+	if sel.Projection != nil {
+		t.Error("SELECT * should have nil projection")
+	}
+	if len(sel.Tables) != 2 || sel.Tables[0].Alias != "h" || sel.Tables[1].Name != "Restaurant" {
+		t.Errorf("tables = %+v", sel.Tables)
+	}
+	if sel.Where == nil || sel.Limit != 5 {
+		t.Error("where/limit missing")
+	}
+}
+
+func TestParseProjectionAndAliases(t *testing.T) {
+	sel := parseSelect(t, `SELECT h.name, price FROM Hotel AS h`)
+	if len(sel.Projection) != 2 {
+		t.Fatalf("projection = %v", sel.Projection)
+	}
+	if sel.Projection[0].Table != "h" || sel.Projection[0].Name != "name" {
+		t.Errorf("qualified col = %v", sel.Projection[0])
+	}
+	if sel.Projection[1].Table != "" || sel.Projection[1].Name != "price" {
+		t.Errorf("unqualified col = %v", sel.Projection[1])
+	}
+	if sel.Tables[0].Alias != "h" {
+		t.Error("AS alias")
+	}
+}
+
+func TestParseOrderByScorers(t *testing.T) {
+	sel := parseSelect(t, `SELECT * FROM t ORDER BY f1(t.a) + 0.5 * f2(t.b) + f3(t.c, t.d) * 2 LIMIT 10`)
+	if len(sel.Order) != 3 {
+		t.Fatalf("order terms = %d, want 3", len(sel.Order))
+	}
+	o := sel.Order
+	if o[0].Scorer != "f1" || o[0].Weight != 1 || len(o[0].Args) != 1 {
+		t.Errorf("term0 = %+v", o[0])
+	}
+	if o[1].Scorer != "f2" || o[1].Weight != 0.5 {
+		t.Errorf("term1 = %+v", o[1])
+	}
+	if o[2].Scorer != "f3" || o[2].Weight != 2 || len(o[2].Args) != 2 {
+		t.Errorf("term2 = %+v", o[2])
+	}
+}
+
+func TestParseOrderByOpaque(t *testing.T) {
+	sel := parseSelect(t, `SELECT * FROM t ORDER BY (200 - t.price) * 0.2 LIMIT 1`)
+	if len(sel.Order) != 1 || sel.Order[0].Scorer != "" || sel.Order[0].Expr == nil {
+		t.Fatalf("opaque term = %+v", sel.Order)
+	}
+	// Mixed: scorer + opaque.
+	sel = parseSelect(t, `SELECT * FROM t ORDER BY f(t.a) + t.b / 10 LIMIT 1`)
+	if len(sel.Order) != 2 || sel.Order[0].Scorer != "f" || sel.Order[1].Expr == nil {
+		t.Fatalf("mixed terms = %+v", sel.Order)
+	}
+}
+
+func TestParseOrderByDesc(t *testing.T) {
+	sel := parseSelect(t, `SELECT * FROM t ORDER BY f(a) DESC LIMIT 1`)
+	if len(sel.Order) != 1 {
+		t.Fatal("missing order")
+	}
+	if _, err := Parse(`SELECT * FROM t ORDER BY f(a) ASC LIMIT 1`); err == nil {
+		t.Error("ASC should be rejected")
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	sel := parseSelect(t, `EXPLAIN SELECT * FROM t LIMIT 1`)
+	if !sel.Explain {
+		t.Error("explain flag unset")
+	}
+}
+
+func TestParseWhereExpr(t *testing.T) {
+	sel := parseSelect(t, `SELECT * FROM t WHERE NOT (a = 1 OR b <> 2) AND c <= 3.5 AND s = 'it''s' AND d IS NOT NULL`)
+	conjs := expr.SplitConjuncts(sel.Where)
+	if len(conjs) != 4 {
+		t.Fatalf("conjuncts = %d, want 4", len(conjs))
+	}
+	s := sel.Where.String()
+	for _, want := range []string{"NOT", "OR", "<=", "it's", "IS NOT NULL"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("where %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := parseSelect(t, `SELECT * FROM t WHERE a + b * 2 = 7`)
+	// a + (b*2), not (a+b)*2.
+	want := "((a + (b * 2)) = 7)"
+	if got := sel.Where.String(); got != want {
+		t.Errorf("precedence: got %s, want %s", got, want)
+	}
+	sel = parseSelect(t, `SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3`)
+	// (a AND b) OR c.
+	if got := sel.Where.String(); !strings.HasSuffix(got, "OR (c = 3))") {
+		t.Errorf("and/or precedence: %s", got)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse(`CREATE TABLE hotel (name TEXT, price FLOAT, stars INT, open BOOLEAN)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if ct.Name != "hotel" || len(ct.Columns) != 4 {
+		t.Fatalf("create = %+v", ct)
+	}
+	wantKinds := []types.Kind{types.KindString, types.KindFloat, types.KindInt, types.KindBool}
+	for i, w := range wantKinds {
+		if ct.Columns[i].Kind != w {
+			t.Errorf("col %d kind %v, want %v", i, ct.Columns[i].Kind, w)
+		}
+	}
+	if _, err := Parse(`CREATE TABLE t (x BLOB)`); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestParseCreateIndexes(t *testing.T) {
+	st, err := Parse(`CREATE INDEX ON t (price)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci := st.(*CreateIndexStmt); ci.Table != "t" || ci.Column != "price" {
+		t.Errorf("index = %+v", ci)
+	}
+	st, err = Parse(`CREATE RANK INDEX ON t (close(addr, dest))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := st.(*CreateRankIndexStmt)
+	if ri.Scorer != "close" || len(ri.Columns) != 2 || ri.Columns[1] != "dest" {
+		t.Errorf("rank index = %+v", ri)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := Parse(`INSERT INTO t VALUES (1, -2.5, 'a', true, null), (2, 3.5, 'b''s', false, 0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if len(ins.Rows) != 2 || len(ins.Rows[0]) != 5 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	r := ins.Rows[0]
+	if r[0].Int() != 1 || r[1].Float() != -2.5 || r[2].Str() != "a" || !r[3].Bool() || !r[4].IsNull() {
+		t.Errorf("row0 = %v", r)
+	}
+	if ins.Rows[1][2].Str() != "b's" {
+		t.Errorf("escaped quote = %q", ins.Rows[1][2].Str())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELEC * FROM t`,
+		`SELECT * FROM`,
+		`SELECT * FROM t WHERE`,
+		`SELECT * FROM t LIMIT x`,
+		`SELECT * FROM t ORDER BY`,
+		`INSERT INTO t VALUES`,
+		`CREATE TABLE t`,
+		`CREATE WHATEVER x`,
+		`SELECT * FROM t; SELECT * FROM u`,
+		`SELECT * FROM t WHERE s = 'unterminated`,
+		`SELECT * FROM t WHERE a ! b`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sel := parseSelect(t, "SELECT * -- trailing comment\nFROM t -- another\nLIMIT 1")
+	if len(sel.Tables) != 1 || sel.Limit != 1 {
+		t.Error("comments break parsing")
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	parseSelect(t, `SELECT * FROM t;`)
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks, err := lex(`1 2.5 .5 1e3 1.5E-2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nums []string
+	for _, tk := range toks {
+		if tk.kind == tokNumber {
+			nums = append(nums, tk.text)
+		}
+	}
+	want := []string{"1", "2.5", ".5", "1e3", "1.5E-2"}
+	if len(nums) != len(want) {
+		t.Fatalf("numbers = %v", nums)
+	}
+	for i := range want {
+		if nums[i] != want[i] {
+			t.Errorf("num %d = %q, want %q", i, nums[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package storage implements the in-memory heap tables backing the engine.
+// Rows are identified by TIDs (their insertion position); tables are
+// append-only, matching the workloads the paper evaluates (bulk-loaded
+// synthetic relations).
+package storage
+
+import (
+	"fmt"
+
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+// Table is an append-only heap of rows.
+type Table struct {
+	Name   string
+	Schema *schema.Schema
+	rows   [][]types.Value
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, sch *schema.Schema) *Table {
+	return &Table{Name: name, Schema: sch}
+}
+
+// Append validates and stores a row, returning its TID.
+func (t *Table) Append(row []types.Value) (schema.TID, error) {
+	if len(row) != t.Schema.Len() {
+		return 0, fmt.Errorf("storage: table %s expects %d values, got %d", t.Name, t.Schema.Len(), len(row))
+	}
+	for i, v := range row {
+		want := t.Schema.Columns[i].Kind
+		if v.IsNull() || v.Kind() == want {
+			continue
+		}
+		// Allow int → float widening on insert.
+		if want == types.KindFloat && v.Kind() == types.KindInt {
+			row[i] = types.NewFloat(float64(v.Int()))
+			continue
+		}
+		return 0, fmt.Errorf("storage: table %s column %s expects %s, got %s",
+			t.Name, t.Schema.Columns[i].Name, want, v.Kind())
+	}
+	t.rows = append(t.rows, row)
+	return schema.TID(len(t.rows) - 1), nil
+}
+
+// MustAppend is Append that panics on error, for generators and tests.
+func (t *Table) MustAppend(row []types.Value) schema.TID {
+	tid, err := t.Append(row)
+	if err != nil {
+		panic(err)
+	}
+	return tid
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the row stored at tid. The returned slice must not be
+// modified.
+func (t *Table) Row(tid schema.TID) []types.Value {
+	return t.rows[tid]
+}
+
+// Scan calls fn for every row in TID order until fn returns false.
+func (t *Table) Scan(fn func(tid schema.TID, row []types.Value) bool) {
+	for i, r := range t.rows {
+		if !fn(schema.TID(i), r) {
+			return
+		}
+	}
+}

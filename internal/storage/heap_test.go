@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"testing"
+
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+func demo() *Table {
+	return NewTable("t", schema.NewSchema(
+		schema.Column{Name: "a", Kind: types.KindInt},
+		schema.Column{Name: "b", Kind: types.KindFloat},
+	))
+}
+
+func TestAppendScanRow(t *testing.T) {
+	tb := demo()
+	tid, err := tb.Append([]types.Value{types.NewInt(1), types.NewFloat(2.5)})
+	if err != nil || tid != 0 {
+		t.Fatalf("append: %v tid=%d", err, tid)
+	}
+	tid, _ = tb.Append([]types.Value{types.NewInt(2), types.NewFloat(3.5)})
+	if tid != 1 || tb.NumRows() != 2 {
+		t.Fatal("tid/rows wrong")
+	}
+	row := tb.Row(1)
+	if row[0].Int() != 2 {
+		t.Fatal("Row wrong")
+	}
+	var seen []int64
+	tb.Scan(func(tid schema.TID, row []types.Value) bool {
+		seen = append(seen, row[0].Int())
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 1 {
+		t.Fatalf("scan = %v", seen)
+	}
+	// Early stop.
+	n := 0
+	tb.Scan(func(schema.TID, []types.Value) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("scan did not stop early")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	tb := demo()
+	if _, err := tb.Append([]types.Value{types.NewInt(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := tb.Append([]types.Value{types.NewString("x"), types.NewFloat(0)}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	// Int widens to float.
+	if _, err := tb.Append([]types.Value{types.NewInt(1), types.NewInt(3)}); err != nil {
+		t.Errorf("int→float widening rejected: %v", err)
+	}
+	if tb.Row(0)[1].Kind() != types.KindFloat {
+		t.Error("widening did not convert")
+	}
+	// NULLs are allowed in any column.
+	if _, err := tb.Append([]types.Value{types.Null(), types.Null()}); err != nil {
+		t.Errorf("NULL rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend should panic on bad row")
+		}
+	}()
+	tb.MustAppend([]types.Value{types.NewInt(1)})
+}

@@ -1,0 +1,155 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "NULL"},
+		{NewBool(true), KindBool, "true"},
+		{NewBool(false), KindBool, "false"},
+		{NewInt(-42), KindInt, "-42"},
+		{NewFloat(2.5), KindFloat, "2.5"},
+		{NewString("abc"), KindString, "abc"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v: string %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+	if !Null().IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	if NewInt(7).Int() != 7 || NewFloat(1.5).Float() != 1.5 ||
+		NewString("x").Str() != "x" || !NewBool(true).Bool() {
+		t.Error("payload accessors misbehave")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Bool":  func() { NewInt(1).Bool() },
+		"Int":   func() { NewString("x").Int() },
+		"Float": func() { NewInt(1).Float() },
+		"Str":   func() { NewFloat(1).Str() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on wrong kind did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNumericConversions(t *testing.T) {
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+		t.Error("int→float failed")
+	}
+	if f, ok := NewBool(true).AsFloat(); !ok || f != 1 {
+		t.Error("bool→float failed")
+	}
+	if i, ok := NewFloat(3.9).AsInt(); !ok || i != 3 {
+		t.Error("float→int should truncate")
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Error("string→float should fail")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.0), 0}, // cross-kind numeric equality
+		{NewBool(false), NewBool(true), -1},
+		{NewString("a"), NewString("b"), -1},
+		{Null(), NewInt(0), -1}, // NULL sorts first
+		{Null(), Null(), 0},
+		{NewInt(5), Null(), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestCompareTotalOrder checks antisymmetry and transitivity on random
+// triples with testing/quick.
+func TestCompareTotalOrder(t *testing.T) {
+	gen := func(x int64, f float64, s string, pick uint8) Value {
+		switch pick % 4 {
+		case 0:
+			return NewInt(x % 50)
+		case 1:
+			return NewFloat(math.Trunc(f*100) / 10)
+		case 2:
+			return NewString(s)
+		default:
+			return NewBool(x%2 == 0)
+		}
+	}
+	prop := func(x1, x2, x3 int64, f1, f2, f3 float64, s1, s2, s3 string, p1, p2, p3 uint8) bool {
+		a, b, c := gen(x1, f1, s1, p1), gen(x2, f2, s2, p2), gen(x3, f3, s3, p3)
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		// Transitivity: a<=b, b<=c => a<=c.
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashConsistency: equal values hash equal, across numeric kinds.
+func TestHashConsistency(t *testing.T) {
+	if NewInt(2).Hash() != NewFloat(2.0).Hash() {
+		t.Error("2 and 2.0 must hash equal (they compare equal)")
+	}
+	prop := func(x int64) bool {
+		return NewInt(x).Hash() == NewFloat(float64(x)).Hash() ||
+			float64(x) != math.Trunc(float64(x)) // precision loss excuse
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	if NewString("a").Hash() == NewString("b").Hash() {
+		t.Error("suspicious string hash collision")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	truthy := []Value{NewBool(true), NewInt(1), NewFloat(0.1), NewString("x")}
+	falsy := []Value{Null(), NewBool(false), NewInt(0), NewFloat(0), NewString("")}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+}

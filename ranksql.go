@@ -1,0 +1,314 @@
+// Package ranksql is an embedded, in-memory relational engine with
+// first-class support for ranking (top-k) queries, implementing the
+// RankSQL system of Li, Chang, Ilyas and Song (SIGMOD 2005):
+//
+//   - a rank-relational algebra in which order is a logical property of
+//     relations alongside membership, with a rank operator µ that
+//     evaluates ranking predicates one at a time,
+//   - a pipelined, incremental execution model whose cost is proportional
+//     to k (rank-scans, rank joins HRJN/NRJN, rank-aware set operations),
+//   - a System-R style optimizer that enumerates plans along two
+//     dimensions — join order and evaluated ranking predicates — costed
+//     with sampling-based cardinality estimation.
+//
+// Quick start:
+//
+//	db := ranksql.Open()
+//	db.Exec(`CREATE TABLE hotel (name TEXT, price FLOAT)`)
+//	db.Exec(`INSERT INTO hotel VALUES ('Grand', 120), ('Budget', 40)`)
+//	db.RegisterScorer("cheap", func(args []ranksql.Value) float64 {
+//		return (200 - args[0].Float()) / 200
+//	}, ranksql.WithCost(1))
+//	rows, _ := db.Query(`SELECT name FROM hotel ORDER BY cheap(price) LIMIT 1`)
+//
+// Ranking queries use ORDER BY <scoring function> LIMIT k where the
+// scoring function is a sum of (optionally weighted) registered scorer
+// calls; larger scores rank first. Arbitrary arithmetic ORDER BY
+// expressions are supported as opaque ranking predicates.
+package ranksql
+
+import (
+	"fmt"
+
+	"ranksql/internal/engine"
+	"ranksql/internal/exec"
+	"ranksql/internal/optimizer"
+	"ranksql/internal/types"
+)
+
+// Value is a scalar query value: NULL, BOOL, INT, FLOAT or TEXT.
+type Value struct {
+	v types.Value
+}
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.v.IsNull() }
+
+// Bool returns the boolean payload (false for non-bools).
+func (v Value) Bool() bool { return v.v.Kind() == types.KindBool && v.v.Bool() }
+
+// Int returns the value as an int64 (0 when not numeric).
+func (v Value) Int() int64 { i, _ := v.v.AsInt(); return i }
+
+// Float returns the value as a float64 (0 when not numeric).
+func (v Value) Float() float64 { f, _ := v.v.AsFloat(); return f }
+
+// String renders the value.
+func (v Value) String() string { return v.v.String() }
+
+// Text returns the string payload ("" for non-strings).
+func (v Value) Text() string {
+	if v.v.Kind() == types.KindString {
+		return v.v.Str()
+	}
+	return ""
+}
+
+// Any converts to a native Go value: nil, bool, int64, float64 or string.
+func (v Value) Any() interface{} {
+	switch v.v.Kind() {
+	case types.KindBool:
+		return v.v.Bool()
+	case types.KindInt:
+		return v.v.Int()
+	case types.KindFloat:
+		return v.v.Float()
+	case types.KindString:
+		return v.v.Str()
+	default:
+		return nil
+	}
+}
+
+// ScoreFunc is a user-defined ranking predicate: it maps argument values
+// to a score, conventionally in [0, 1] (configurable via WithMax). Larger
+// is better. Functions must be deterministic.
+type ScoreFunc func(args []Value) float64
+
+// ScorerOption configures a registered scorer.
+type ScorerOption func(*engine.Scorer)
+
+// WithCost declares the scorer's per-evaluation cost in abstract units;
+// the optimizer schedules expensive predicates later and the executor can
+// burn proportional CPU in spin mode. Default 1.
+func WithCost(c float64) ScorerOption {
+	return func(s *engine.Scorer) { s.Cost = c }
+}
+
+// WithMax declares the scorer's maximal possible value, used for
+// upper-bound (maximal-possible-score) computation. Default 1.
+func WithMax(m float64) ScorerOption {
+	return func(s *engine.Scorer) { s.MaxVal = m }
+}
+
+// Stats are execution counters for one query.
+type Stats struct {
+	TuplesScanned int64
+	PredEvals     int64
+	PredCostUnits float64
+	Comparisons   int64
+	JoinProbes    int64
+	PeakBuffered  int64
+}
+
+// Rows is a materialized query result.
+type Rows struct {
+	// Columns are the qualified output column names.
+	Columns []string
+	rows    [][]types.Value
+	// Scores[i] is row i's score under the query's ranking function.
+	Scores []float64
+	// Stats are the query's execution counters.
+	Stats Stats
+	// ExecTree renders the executed operator tree with per-operator
+	// output counts (EXPLAIN ANALYZE style).
+	ExecTree string
+
+	pos int
+}
+
+// Len returns the number of rows.
+func (r *Rows) Len() int { return len(r.rows) }
+
+// Next advances the cursor; use Row to read the current row.
+func (r *Rows) Next() bool {
+	if r.pos >= len(r.rows) {
+		return false
+	}
+	r.pos++
+	return true
+}
+
+// Row returns the current row after Next.
+func (r *Rows) Row() []Value {
+	raw := r.rows[r.pos-1]
+	out := make([]Value, len(raw))
+	for i, v := range raw {
+		out[i] = Value{v: v}
+	}
+	return out
+}
+
+// Score returns the current row's ranking score after Next.
+func (r *Rows) Score() float64 { return r.Scores[r.pos-1] }
+
+// At returns row i without moving the cursor.
+func (r *Rows) At(i int) []Value {
+	raw := r.rows[i]
+	out := make([]Value, len(raw))
+	for j, v := range raw {
+		out[j] = Value{v: v}
+	}
+	return out
+}
+
+// Result reports the effect of a DDL/DML statement.
+type Result struct {
+	RowsAffected int
+	Message      string
+}
+
+// DB is an embedded RankSQL database. A DB is not safe for concurrent use;
+// callers requiring concurrency should serialize access.
+type DB struct {
+	eng *engine.DB
+}
+
+// Open creates an empty in-memory database.
+func Open() *DB {
+	return &DB{eng: engine.New()}
+}
+
+// RegisterScorer makes a ranking function available to ORDER BY clauses
+// and CREATE RANK INDEX statements.
+func (db *DB) RegisterScorer(name string, fn ScoreFunc, opts ...ScorerOption) error {
+	if fn == nil {
+		return fmt.Errorf("ranksql: scorer %q has no function", name)
+	}
+	s := engine.Scorer{
+		Fn: func(args []types.Value) float64 {
+			wrapped := make([]Value, len(args))
+			for i, a := range args {
+				wrapped[i] = Value{v: a}
+			}
+			return fn(wrapped)
+		},
+		Cost:   1,
+		MaxVal: 1,
+	}
+	for _, o := range opts {
+		o(&s)
+	}
+	return db.eng.RegisterScorer(name, s)
+}
+
+// Exec runs a DDL or DML statement (CREATE TABLE, CREATE INDEX, CREATE
+// RANK INDEX, INSERT).
+func (db *DB) Exec(sql string) (*Result, error) {
+	res, err := db.eng.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: res.RowsAffected, Message: res.Message}, nil
+}
+
+// Query runs a SELECT and returns the materialized result. Ranking
+// queries (ORDER BY scoring function, LIMIT k) are optimized with the
+// rank-aware optimizer and executed incrementally.
+func (db *DB) Query(sql string) (*Rows, error) {
+	rows, err := db.eng.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{
+		Columns:  rows.Columns,
+		rows:     rows.Data,
+		Scores:   rows.Scores,
+		Stats:    convertStats(rows.Stats),
+		ExecTree: rows.ExecTree,
+	}, nil
+}
+
+// QueryScores is a convenience wrapper returning only the result scores.
+func (db *DB) QueryScores(sql string) ([]float64, error) {
+	rows, err := db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Scores, nil
+}
+
+// Explain returns the optimized physical plan for a SELECT, annotated
+// with estimated cardinalities and costs.
+func (db *DB) Explain(sql string) (string, error) {
+	return db.eng.Explain(sql)
+}
+
+// Tables lists the database's table names.
+func (db *DB) Tables() []string {
+	return db.eng.Catalog.TableNames()
+}
+
+// SetSpin makes scorer evaluation burn the given number of arithmetic
+// iterations per declared cost unit, so declared predicate cost becomes
+// real CPU time (useful for benchmarking; 0 disables).
+func (db *DB) SetSpin(iterationsPerCostUnit int) {
+	db.eng.SpinPerCostUnit = iterationsPerCostUnit
+}
+
+// Tuning exposes optimizer knobs.
+type Tuning struct {
+	// LeftDeepOnly restricts join enumeration to left-deep trees.
+	LeftDeepOnly bool
+	// RankHeuristic enables greedy rank-metric scheduling of µ operators.
+	RankHeuristic bool
+	// NoRankOperators disables rank-aware operators (traditional
+	// optimizer; for comparisons).
+	NoRankOperators bool
+	// SampleRatio is the sampling fraction for cardinality estimation.
+	SampleRatio float64
+	// MinSampleRows floors the per-table sample size.
+	MinSampleRows int
+}
+
+// SetTuning reconfigures the optimizer.
+func (db *DB) SetTuning(t Tuning) error {
+	if t.SampleRatio < 0 || t.SampleRatio > 1 {
+		return fmt.Errorf("ranksql: sample ratio must be in [0, 1]")
+	}
+	opts := optimizer.DefaultOptions()
+	opts.LeftDeepOnly = t.LeftDeepOnly
+	opts.RankHeuristic = t.RankHeuristic
+	opts.NoRankOperators = t.NoRankOperators
+	if t.SampleRatio > 0 {
+		opts.SampleRatio = t.SampleRatio
+	}
+	if t.MinSampleRows > 0 {
+		opts.MinSampleRows = t.MinSampleRows
+	}
+	db.eng.Options = opts
+	return nil
+}
+
+// DefaultTuning mirrors the engine defaults (heuristics on, 0.1% samples
+// with a 100-row floor).
+func DefaultTuning() Tuning {
+	o := optimizer.DefaultOptions()
+	return Tuning{
+		LeftDeepOnly:  o.LeftDeepOnly,
+		RankHeuristic: o.RankHeuristic,
+		SampleRatio:   o.SampleRatio,
+		MinSampleRows: o.MinSampleRows,
+	}
+}
+
+func convertStats(s exec.Stats) Stats {
+	return Stats{
+		TuplesScanned: s.TuplesScanned,
+		PredEvals:     s.PredEvals,
+		PredCostUnits: s.PredCost,
+		Comparisons:   s.Comparisons,
+		JoinProbes:    s.JoinProbes,
+		PeakBuffered:  s.PeakBuffered,
+	}
+}
