@@ -187,8 +187,8 @@ func TestPublicAPIExecTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"limit(2)", "out="} {
-		if !strings.Contains(rows.ExecTree, want) {
-			t.Errorf("ExecTree missing %q:\n%s", want, rows.ExecTree)
+		if !strings.Contains(rows.ExecTree(), want) {
+			t.Errorf("ExecTree missing %q:\n%s", want, rows.ExecTree())
 		}
 	}
 }

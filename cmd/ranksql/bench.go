@@ -1,0 +1,326 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ranksql"
+	"ranksql/internal/server"
+)
+
+// runBench is the `ranksql bench` load generator: it drives a ranksqld
+// service over HTTP with prepared top-k statements under concurrency,
+// verifies ranked results, and reports throughput, latency percentiles
+// and plan-cache effectiveness. With no -addr it self-hosts an in-process
+// daemon seeded with an example dataset, so the whole service path —
+// HTTP, sessions, prepared statements, plan cache, concurrent engine —
+// is exercised end to end with one command.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	addr := fs.String("addr", "", "target ranksqld base URL (empty = self-hosted in-process server)")
+	dataset := fs.String("seed", "webshop", "dataset for the self-hosted server: webshop or tripplanner")
+	rows := fs.Int("rows", 20000, "seeded base-table row count (self-hosted)")
+	concurrency := fs.Int("concurrency", 8, "concurrent client workers")
+	requests := fs.Int("requests", 2000, "total query requests")
+	k := fs.Int("k", 10, "top-k bound per query")
+	writeEvery := fs.Int("write-every", 0, "per worker, issue an INSERT every N queries (0 = read-only)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *concurrency < 1 || *requests < 1 || *k < 1 {
+		log.Fatalf("bench: -concurrency, -requests and -k must be >= 1 (got %d, %d, %d)", *concurrency, *requests, *k)
+	}
+
+	base := *addr
+	if base == "" {
+		// Self-host a daemon on a loopback port.
+		db := ranksql.Open()
+		if err := server.Seed(db, *dataset, *rows); err != nil {
+			log.Fatalf("bench: seeding: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("bench: listen: %v", err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		srv := server.New(db, server.WithLogger(func(string, ...interface{}) {}))
+		go func() {
+			if err := srv.ServeListener(ctx, ln); err != nil {
+				log.Fatalf("bench: server: %v", err)
+			}
+		}()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("self-hosted ranksqld at %s (%s, %d rows)\n", base, *dataset, *rows)
+	}
+
+	queryTemplate, insertTemplate, paramGen := benchWorkload(*dataset)
+	fmt.Printf("template: %s\n", queryTemplate)
+	fmt.Printf("%d requests, %d workers, k=%d", *requests, *concurrency, *k)
+	if *writeEvery > 0 {
+		fmt.Printf(", 1 INSERT per %d queries per worker", *writeEvery)
+	}
+	fmt.Println()
+
+	var (
+		done       int64
+		cacheHits  int64
+		violations int64
+		writes     int64
+		mu         sync.Mutex
+		latencies  []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	// Distribute requests across workers, spreading the remainder so
+	// -requests is honored exactly.
+	perWorker, extra := *requests / *concurrency, *requests%*concurrency
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			quota := perWorker
+			if worker < extra {
+				quota++
+			}
+			c := &benchClient{base: base, http: &http.Client{Timeout: 30 * time.Second}}
+			sessionID, err := c.openSession()
+			if err != nil {
+				log.Fatalf("bench: worker %d: session: %v", worker, err)
+			}
+			stmtID, err := c.prepare(sessionID, queryTemplate)
+			if err != nil {
+				log.Fatalf("bench: worker %d: prepare: %v", worker, err)
+			}
+			insertID := ""
+			if *writeEvery > 0 {
+				if insertID, err = c.prepare(sessionID, insertTemplate); err != nil {
+					log.Fatalf("bench: worker %d: prepare insert: %v", worker, err)
+				}
+			}
+			rng := server.NewRng(uint64(worker)*0x9E3779B97F4A7C15 + 1)
+			var local []time.Duration
+			for i := 0; i < quota; i++ {
+				if *writeEvery > 0 && i%*writeEvery == *writeEvery-1 {
+					if err := c.exec(sessionID, insertID, paramGen.insert(&rng, worker, i)); err != nil {
+						log.Fatalf("bench: worker %d: insert: %v", worker, err)
+					}
+					atomic.AddInt64(&writes, 1)
+				}
+				params := paramGen.query(&rng, *k)
+				t0 := time.Now()
+				resp, err := c.query(sessionID, stmtID, params)
+				if err != nil {
+					log.Fatalf("bench: worker %d: query: %v", worker, err)
+				}
+				local = append(local, time.Since(t0))
+				atomic.AddInt64(&done, 1)
+				if resp.CacheHit {
+					atomic.AddInt64(&cacheHits, 1)
+				}
+				// Verify the ranked contract: at most k rows, scores
+				// non-increasing.
+				if len(resp.Rows) > *k {
+					atomic.AddInt64(&violations, 1)
+				}
+				for j := 1; j < len(resp.Scores); j++ {
+					if resp.Scores[j] > resp.Scores[j-1]+1e-9 {
+						atomic.AddInt64(&violations, 1)
+						break
+					}
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	total := atomic.LoadInt64(&done)
+	if total == 0 {
+		fmt.Println("no requests issued (check -requests/-concurrency)")
+		os.Exit(1)
+	}
+	fmt.Printf("\n== results ==\n")
+	fmt.Printf("queries    %d (+%d inserts) in %.2fs  ->  %.0f qps\n",
+		total, atomic.LoadInt64(&writes), elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	fmt.Printf("latency    p50=%v  p95=%v  p99=%v  max=%v\n", pct(0.50), pct(0.95), pct(0.99), pct(1.0))
+	fmt.Printf("plan cache %d/%d client-observed hits (%.1f%%)\n",
+		atomic.LoadInt64(&cacheHits), total, 100*float64(atomic.LoadInt64(&cacheHits))/float64(total))
+	if v := atomic.LoadInt64(&violations); v > 0 {
+		fmt.Printf("RANKING VIOLATIONS: %d\n", v)
+		os.Exit(1)
+	}
+	fmt.Println("ranking    all responses correctly ordered, |rows| <= k")
+
+	// Server-side view.
+	var stats server.Snapshot
+	if err := getJSON(base+"/stats", &stats); err != nil {
+		log.Fatalf("bench: stats: %v", err)
+	}
+	fmt.Printf("\n== server /stats ==\n")
+	fmt.Printf("queries=%d execs=%d errors=%d qps(recent)=%.0f avg=%.2fms\n",
+		stats.Queries, stats.Execs, stats.Errors, stats.QPS, stats.AvgQueryMS)
+	fmt.Printf("plan cache: hits=%d misses=%d entries=%d hit_rate=%.1f%%\n",
+		stats.PlanCache.Hits, stats.PlanCache.Misses, stats.PlanCache.Entries, 100*stats.PlanCache.HitRate)
+	for _, q := range stats.PerQuery {
+		fmt.Printf("  %6d× avg_depth_k=%.1f max_depth_k=%d avg=%.2fms  %s\n",
+			q.Count, q.AvgDepthK, q.MaxDepthK, q.AvgMS, truncate(q.Query, 80))
+	}
+}
+
+// benchWorkload returns the prepared query/insert templates and parameter
+// generator for a dataset.
+func benchWorkload(dataset string) (query, insert string, gen paramGenerator) {
+	switch dataset {
+	case "tripplanner":
+		return `SELECT h.name, r.name FROM hotel AS h, restaurant AS r
+				WHERE h.addr = r.addr AND h.price < ?
+				ORDER BY cheap(h.price) + cheap(r.price) LIMIT ?`,
+			`INSERT INTO hotel VALUES (?, ?, ?)`,
+			paramGenerator{
+				query: func(r *server.Rng, k int) []interface{} {
+					return []interface{}{100 + r.Float()*400, k}
+				},
+				insert: func(r *server.Rng, worker, i int) []interface{} {
+					return []interface{}{fmt.Sprintf("Bench-Hotel-%d-%d", worker, i), 30 + r.Float()*470, r.Intn(50)}
+				},
+			}
+	default: // webshop
+		return `SELECT name, price, stars, sales FROM product
+				WHERE in_stock AND price < ?
+				ORDER BY 0.5*rating(stars) + 0.3*popular(sales) + 0.2*bargain(price) LIMIT ?`,
+			`INSERT INTO product VALUES (?, ?, ?, ?, ?)`,
+			paramGenerator{
+				query: func(r *server.Rng, k int) []interface{} {
+					return []interface{}{50 + r.Float()*450, k}
+				},
+				insert: func(r *server.Rng, worker, i int) []interface{} {
+					return []interface{}{fmt.Sprintf("BENCH-%d-%d", worker, i),
+						5 + r.Float()*495, 1 + 4*r.Float(), r.Intn(100000), true}
+				},
+			}
+	}
+}
+
+type paramGenerator struct {
+	query  func(r *server.Rng, k int) []interface{}
+	insert func(r *server.Rng, worker, i int) []interface{}
+}
+
+// benchClient is a minimal ranksqld protocol client.
+type benchClient struct {
+	base string
+	http *http.Client
+}
+
+type benchQueryResponse struct {
+	Rows     [][]interface{} `json:"rows"`
+	Scores   []float64       `json:"scores"`
+	CacheHit bool            `json:"cache_hit"`
+	Error    string          `json:"error"`
+}
+
+func (c *benchClient) openSession() (string, error) {
+	var out struct {
+		SessionID string `json:"session_id"`
+		Error     string `json:"error"`
+	}
+	if err := c.post("/session", map[string]interface{}{}, &out); err != nil {
+		return "", err
+	}
+	if out.Error != "" {
+		return "", fmt.Errorf("%s", out.Error)
+	}
+	return out.SessionID, nil
+}
+
+func (c *benchClient) prepare(sessionID, sql string) (string, error) {
+	var out struct {
+		StmtID string `json:"stmt_id"`
+		Error  string `json:"error"`
+	}
+	if err := c.post("/prepare", map[string]interface{}{"session_id": sessionID, "sql": sql}, &out); err != nil {
+		return "", err
+	}
+	if out.Error != "" {
+		return "", fmt.Errorf("%s", out.Error)
+	}
+	return out.StmtID, nil
+}
+
+func (c *benchClient) query(sessionID, stmtID string, params []interface{}) (*benchQueryResponse, error) {
+	var out benchQueryResponse
+	req := map[string]interface{}{"session_id": sessionID, "stmt_id": stmtID, "params": params}
+	if err := c.post("/query", req, &out); err != nil {
+		return nil, err
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("%s", out.Error)
+	}
+	return &out, nil
+}
+
+func (c *benchClient) exec(sessionID, stmtID string, params []interface{}) error {
+	var out struct {
+		Error string `json:"error"`
+	}
+	req := map[string]interface{}{"session_id": sessionID, "stmt_id": stmtID, "params": params}
+	if err := c.post("/exec", req, &out); err != nil {
+		return err
+	}
+	if out.Error != "" {
+		return fmt.Errorf("%s", out.Error)
+	}
+	return nil
+}
+
+func (c *benchClient) post(path string, req, out interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(url string, out interface{}) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

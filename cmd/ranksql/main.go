@@ -1,4 +1,5 @@
-// Command ranksql is an interactive shell for the RankSQL engine.
+// Command ranksql is an interactive shell for the RankSQL engine, plus a
+// load generator for the ranksqld daemon.
 //
 //	$ go run ./cmd/ranksql
 //	ranksql> CREATE TABLE hotel (name TEXT, price FLOAT)
@@ -17,6 +18,11 @@
 // The shell registers a few generic scorers at startup: cheap(x) =
 // max(0, 1 - x/1000), high(x) = min(1, x/1000), close(x, y) =
 // 1/(1+|x-y|/10), equal(x, y) = 1 if x = y else 0.
+//
+// Load generator mode (see bench.go):
+//
+//	$ go run ./cmd/ranksql bench -concurrency 8 -requests 2000
+//	$ go run ./cmd/ranksql bench -addr http://localhost:7070
 package main
 
 import (
@@ -33,6 +39,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
+		return
+	}
 	db := ranksql.Open()
 	registerBuiltins(db)
 

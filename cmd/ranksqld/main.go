@@ -1,0 +1,49 @@
+// Command ranksqld runs the RankSQL query daemon: a concurrent HTTP/JSON
+// service with sessions, prepared statements and a rank-aware plan cache
+// (see internal/server for the endpoint protocol).
+//
+//	$ go run ./cmd/ranksqld -addr :7070 -seed webshop -rows 20000
+//
+//	$ curl -s localhost:7070/query -d '{
+//	    "sql": "SELECT name, price FROM product WHERE in_stock AND price < ? ORDER BY rating(stars) LIMIT ?",
+//	    "params": [200, 5]}'
+//	$ curl -s localhost:7070/stats
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+
+	"ranksql"
+	"ranksql/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	seed := flag.String("seed", "webshop", "example dataset to preload: webshop, tripplanner or none")
+	rows := flag.Int("rows", 20000, "seeded base-table row count")
+	cache := flag.Int("plan-cache", 0, "plan cache capacity (0 = engine default)")
+	flag.Parse()
+
+	db := ranksql.Open()
+	if *cache > 0 {
+		db.SetPlanCacheCapacity(*cache)
+	}
+	if err := server.Seed(db, *seed, *rows); err != nil {
+		log.Fatalf("ranksqld: seeding %s: %v", *seed, err)
+	}
+	if *seed != "none" && *seed != "" {
+		log.Printf("ranksqld: seeded %s dataset (%d rows), tables: %v", *seed, *rows, db.Tables())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := server.New(db).Serve(ctx, *addr); err != nil {
+		log.Fatalf("ranksqld: %v", err)
+	}
+}

@@ -13,16 +13,20 @@ import (
 // LoadCSV bulk-loads CSV records into an existing table and returns the
 // number of rows inserted. Cells are converted to the column's declared
 // type; empty cells become NULL. When header is true the first record is
-// skipped. Secondary and rank indexes are rebuilt once at the end, so
-// bulk loads stay linear.
+// skipped. Records are parsed first, then appended under the engine's
+// write lock (with one index rebuild at the end), so bulk loads stay
+// linear and concurrent queries never observe a half-loaded table.
 func (db *DB) LoadCSV(table string, r io.Reader, header bool) (int, error) {
 	tm, err := db.eng.Catalog.Table(table)
 	if err != nil {
 		return 0, err
 	}
+	// The schema is immutable after CREATE TABLE, so conversion can run
+	// outside the lock.
+	sch := tm.Table.Schema
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = tm.Table.Schema.Len()
-	n := 0
+	cr.FieldsPerRecord = sch.Len()
+	var rows [][]types.Value
 	first := true
 	for {
 		rec, err := cr.Read()
@@ -30,7 +34,7 @@ func (db *DB) LoadCSV(table string, r io.Reader, header bool) (int, error) {
 			break
 		}
 		if err != nil {
-			return n, fmt.Errorf("ranksql: csv row %d: %w", n+1, err)
+			return 0, fmt.Errorf("ranksql: csv row %d: %w", len(rows)+1, err)
 		}
 		if first && header {
 			first = false
@@ -39,25 +43,16 @@ func (db *DB) LoadCSV(table string, r io.Reader, header bool) (int, error) {
 		first = false
 		row := make([]types.Value, len(rec))
 		for i, cell := range rec {
-			v, err := convertCell(cell, tm.Table.Schema.Columns[i].Kind)
+			v, err := convertCell(cell, sch.Columns[i].Kind)
 			if err != nil {
-				return n, fmt.Errorf("ranksql: csv row %d column %s: %w",
-					n+1, tm.Table.Schema.Columns[i].Name, err)
+				return 0, fmt.Errorf("ranksql: csv row %d column %s: %w",
+					len(rows)+1, sch.Columns[i].Name, err)
 			}
 			row[i] = v
 		}
-		if _, err := tm.Table.Append(row); err != nil {
-			return n, err
-		}
-		n++
+		rows = append(rows, row)
 	}
-	// Derived structures are stale after a bulk append.
-	tm.Stats = nil
-	tm.Sample = nil
-	if err := db.eng.RebuildIndexes(tm); err != nil {
-		return n, err
-	}
-	return n, nil
+	return db.eng.BulkInsert(table, sch, rows)
 }
 
 // convertCell parses one CSV cell into the column's type.

@@ -1,0 +1,3 @@
+module ranksql
+
+go 1.24

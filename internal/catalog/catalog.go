@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"ranksql/internal/btree"
 	"ranksql/internal/schema"
@@ -70,10 +71,18 @@ type TableMeta struct {
 	// cardinality estimator; SampleRatio is the fraction of rows it holds.
 	Sample      *storage.Table
 	SampleRatio float64
+
+	// lazyMu serializes lazy (re)computation of Stats and Sample, which
+	// otherwise races when concurrent read-only queries plan against the
+	// same table for the first time.
+	lazyMu sync.Mutex
 }
 
-// Catalog is the collection of tables.
+// Catalog is the collection of tables. Table creation/removal and lookup
+// are safe for concurrent use; mutating a table's contents still requires
+// external write/read exclusion (the engine's DDL/DML write lock).
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*TableMeta
 }
 
@@ -84,6 +93,8 @@ func New() *Catalog {
 
 // CreateTable registers a new table.
 func (c *Catalog) CreateTable(name string, sch *schema.Schema) (*TableMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := strings.ToLower(name)
 	if _, ok := c.tables[key]; ok {
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
@@ -99,6 +110,8 @@ func (c *Catalog) CreateTable(name string, sch *schema.Schema) (*TableMeta, erro
 
 // DropTable removes a table.
 func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := strings.ToLower(name)
 	if _, ok := c.tables[key]; !ok {
 		return fmt.Errorf("catalog: table %q does not exist", name)
@@ -109,6 +122,8 @@ func (c *Catalog) DropTable(name string) error {
 
 // Table looks up a table by name.
 func (c *Catalog) Table(name string) (*TableMeta, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	tm, ok := c.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("catalog: table %q does not exist", name)
@@ -118,6 +133,8 @@ func (c *Catalog) Table(name string) (*TableMeta, error) {
 
 // TableNames returns the sorted table names.
 func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables))
 	for _, tm := range c.tables {
 		out = append(out, tm.Table.Name)
@@ -193,6 +210,12 @@ func (tm *TableMeta) RankIndex(scorer string, columns []string) *RankIndex {
 
 // Analyze (re)computes table statistics with a full scan.
 func (tm *TableMeta) Analyze() *TableStats {
+	tm.lazyMu.Lock()
+	defer tm.lazyMu.Unlock()
+	return tm.analyzeLocked()
+}
+
+func (tm *TableMeta) analyzeLocked() *TableStats {
 	sch := tm.Table.Schema
 	st := &TableStats{
 		Rows:    tm.Table.NumRows(),
@@ -238,9 +261,12 @@ func (tm *TableMeta) Analyze() *TableStats {
 }
 
 // EnsureStats returns the table's statistics, computing them if missing.
+// Safe for concurrent callers.
 func (tm *TableMeta) EnsureStats() *TableStats {
+	tm.lazyMu.Lock()
+	defer tm.lazyMu.Unlock()
 	if tm.Stats == nil || tm.Stats.Rows != tm.Table.NumRows() {
-		tm.Analyze()
+		tm.analyzeLocked()
 	}
 	return tm.Stats
 }
@@ -250,6 +276,12 @@ func (tm *TableMeta) EnsureStats() *TableStats {
 // deterministic and uniform for the synthetic workloads. The sample powers
 // the §5.2 cardinality estimator.
 func (tm *TableMeta) BuildSample(ratio float64, minRows int) *storage.Table {
+	tm.lazyMu.Lock()
+	defer tm.lazyMu.Unlock()
+	return tm.buildSampleLocked(ratio, minRows)
+}
+
+func (tm *TableMeta) buildSampleLocked(ratio float64, minRows int) *storage.Table {
 	n := tm.Table.NumRows()
 	want := int(float64(n) * ratio)
 	if want < minRows {
@@ -277,10 +309,12 @@ func (tm *TableMeta) BuildSample(ratio float64, minRows int) *storage.Table {
 }
 
 // EnsureSample returns the table's sample, building it at the given ratio
-// if missing or stale.
+// if missing or stale. Safe for concurrent callers.
 func (tm *TableMeta) EnsureSample(ratio float64, minRows int) *storage.Table {
+	tm.lazyMu.Lock()
+	defer tm.lazyMu.Unlock()
 	if tm.Sample == nil {
-		tm.BuildSample(ratio, minRows)
+		tm.buildSampleLocked(ratio, minRows)
 	}
 	return tm.Sample
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"ranksql/internal/catalog"
 	"ranksql/internal/exec"
@@ -31,15 +32,27 @@ type Scorer struct {
 	MaxVal float64
 }
 
-// DB is an in-memory RankSQL database.
+// DB is an in-memory RankSQL database. It is safe for concurrent use:
+// DDL/DML statements take a write lock, queries run concurrently under a
+// read lock against immutable snapshots of plans and table data.
 type DB struct {
+	// mu serializes DDL/DML (write side) against read-only query
+	// execution (read side).
+	mu      sync.RWMutex
 	Catalog *catalog.Catalog
 	scorers map[string]Scorer
-	// Options configure the optimizer; adjust before querying.
+	// Options configure the optimizer; adjust before querying (use
+	// SetOptions when queries may be in flight).
 	Options optimizer.Options
 	// SpinPerCostUnit burns CPU per predicate cost unit during execution
 	// (0 = accounting only).
 	SpinPerCostUnit int
+	// Plans caches compiled SELECT plans keyed on (normalized template,
+	// k, schema version); repeated query templates skip parse+optimize.
+	Plans *PlanCache
+	// version is the schema version; DDL bumps it, invalidating every
+	// cached plan key minted under the old version.
+	version uint64
 }
 
 // New creates an empty database with default optimizer options.
@@ -48,12 +61,48 @@ func New() *DB {
 		Catalog: catalog.New(),
 		scorers: map[string]Scorer{},
 		Options: optimizer.DefaultOptions(),
+		Plans:   NewPlanCache(DefaultPlanCacheCapacity),
 	}
+}
+
+// SetOptions swaps the optimizer configuration and invalidates cached
+// plans (they were costed under the old options).
+func (db *DB) SetOptions(opts optimizer.Options) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.Options = opts
+	db.bumpVersionLocked()
+}
+
+// bumpVersionLocked advances the schema version and eagerly drops every
+// cached plan: keys minted under the old version can never hit again, so
+// leaving them to age out of the LRU would only hold dead memory.
+// Callers hold db.mu (write side).
+func (db *DB) bumpVersionLocked() {
+	db.version++
+	db.Plans.Clear()
+}
+
+// SchemaVersion returns the current schema version (bumped by DDL).
+func (db *DB) SchemaVersion() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
+}
+
+// SetSpin sets the per-cost-unit CPU burn under the write lock, so it can
+// be flipped while queries are in flight without a data race.
+func (db *DB) SetSpin(iterationsPerCostUnit int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.SpinPerCostUnit = iterationsPerCostUnit
 }
 
 // RegisterScorer registers a ranking function under a name usable in
 // ORDER BY clauses and CREATE RANK INDEX statements.
 func (db *DB) RegisterScorer(name string, s Scorer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	key := strings.ToLower(name)
 	if key == "" {
 		return fmt.Errorf("engine: scorer name must not be empty")
@@ -71,7 +120,10 @@ func (db *DB) RegisterScorer(name string, s Scorer) error {
 	return nil
 }
 
-// Scorer looks up a registered scorer.
+// Scorer looks up a registered scorer. The map read is unsynchronized by
+// design: callers already hold db.mu (either side), and RegisterScorer
+// writes under the write lock; taking db.mu here would self-deadlock on
+// the non-reentrant RWMutex.
 func (db *DB) Scorer(name string) (Scorer, bool) {
 	s, ok := db.scorers[strings.ToLower(name)]
 	return s, ok
@@ -87,7 +139,10 @@ type Result struct {
 
 // Rows is a fully materialized query result.
 type Rows struct {
-	Columns []string
+	// CacheHit reports whether the query reused a cached compiled plan
+	// (skipping parse, bind and optimization).
+	CacheHit bool
+	Columns  []string
 	// Data[i] is one output row.
 	Data [][]types.Value
 	// Scores[i] is the row's final score under the query's ranking
@@ -98,8 +153,10 @@ type Rows struct {
 	// Plan is the executed physical plan, annotated with estimates.
 	Plan *optimizer.PlanNode
 	// ExecTree renders the executed operator tree with per-operator
-	// output counts (EXPLAIN ANALYZE style).
-	ExecTree string
+	// output counts (EXPLAIN ANALYZE style). It is a closure so the
+	// (purely diagnostic) rendering is only paid for when requested —
+	// the high-QPS server path never asks for it. May be nil.
+	ExecTree func() string
 }
 
 // Exec runs any statement; for SELECT it returns (nil, *Rows via Query).
@@ -108,6 +165,16 @@ func (db *DB) Exec(src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n := sql.CountParams(st); n > 0 {
+		return nil, fmt.Errorf("engine: statement has %d unbound parameter(s); use Prepare", n)
+	}
+	return db.execStmt(st)
+}
+
+// execStmt applies a fully bound DDL/DML statement under the write lock.
+func (db *DB) execStmt(st sql.Stmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	switch s := st.(type) {
 	case *sql.CreateTableStmt:
 		cols := make([]schema.Column, len(s.Columns))
@@ -117,6 +184,7 @@ func (db *DB) Exec(src string) (*Result, error) {
 		if _, err := db.Catalog.CreateTable(s.Name, schema.NewSchema(cols...)); err != nil {
 			return nil, err
 		}
+		db.bumpVersionLocked()
 		return &Result{Message: "CREATE TABLE"}, nil
 	case *sql.CreateIndexStmt:
 		tm, err := db.Catalog.Table(s.Table)
@@ -126,6 +194,7 @@ func (db *DB) Exec(src string) (*Result, error) {
 		if _, err := tm.CreateIndex(s.Column); err != nil {
 			return nil, err
 		}
+		db.bumpVersionLocked()
 		return &Result{Message: "CREATE INDEX"}, nil
 	case *sql.CreateRankIndexStmt:
 		tm, err := db.Catalog.Table(s.Table)
@@ -139,36 +208,74 @@ func (db *DB) Exec(src string) (*Result, error) {
 		if _, err := tm.CreateRankIndex(s.Scorer, s.Columns, sc.Fn); err != nil {
 			return nil, err
 		}
+		db.bumpVersionLocked()
 		return &Result{Message: "CREATE RANK INDEX"}, nil
 	case *sql.InsertStmt:
 		tm, err := db.Catalog.Table(s.Table)
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range s.Rows {
-			if _, err := tm.Table.Append(row); err != nil {
-				return nil, err
-			}
+		n, err := db.appendRowsLocked(tm, s.Rows)
+		if err != nil {
+			return nil, err
 		}
-		// Inserted rows invalidate derived structures.
-		tm.Stats = nil
-		tm.Sample = nil
-		if len(tm.Indexes) > 0 || len(tm.RankIndexes) > 0 {
-			if err := db.RebuildIndexes(tm); err != nil {
-				return nil, err
-			}
-		}
-		return &Result{RowsAffected: len(s.Rows)}, nil
+		return &Result{RowsAffected: n}, nil
 	case *sql.DropTableStmt:
 		if err := db.Catalog.DropTable(s.Name); err != nil {
 			return nil, err
 		}
+		db.bumpVersionLocked()
 		return &Result{Message: "DROP TABLE"}, nil
 	case *sql.SelectStmt, *sql.SetOpStmt:
 		return nil, fmt.Errorf("engine: use Query for SELECT statements")
 	default:
 		return nil, fmt.Errorf("engine: unhandled statement %T", st)
 	}
+}
+
+// BulkInsert appends pre-converted rows to a table under the write lock,
+// invalidating derived structures and rebuilding indexes once at the end.
+// It is the concurrency-safe bulk-load path (LoadCSV uses it). When sch
+// is non-nil it must be the exact schema the rows were converted against;
+// a mismatch (the table was dropped and recreated since) aborts the load
+// rather than appending rows converted for a different schema.
+func (db *DB) BulkInsert(table string, sch *schema.Schema, rows [][]types.Value) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tm, err := db.Catalog.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	if sch != nil && tm.Table.Schema != sch {
+		return 0, fmt.Errorf("engine: table %q was recreated during the bulk load; aborting", table)
+	}
+	return db.appendRowsLocked(tm, rows)
+}
+
+// appendRowsLocked appends rows and keeps every access path consistent:
+// derived structures are invalidated and indexes rebuilt even after a
+// mid-batch failure, because rows already appended must be visible to
+// rank-index plans and seqScan plans alike. Callers hold db.mu (write).
+func (db *DB) appendRowsLocked(tm *catalog.TableMeta, rows [][]types.Value) (int, error) {
+	n := 0
+	var appendErr error
+	for _, row := range rows {
+		if _, err := tm.Table.Append(row); err != nil {
+			appendErr = err
+			break
+		}
+		n++
+	}
+	if n > 0 {
+		tm.Stats = nil
+		tm.Sample = nil
+		if len(tm.Indexes) > 0 || len(tm.RankIndexes) > 0 {
+			if err := db.RebuildIndexes(tm); err != nil && appendErr == nil {
+				appendErr = err
+			}
+		}
+	}
+	return n, appendErr
 }
 
 // RebuildIndexes regenerates secondary structures (attribute and rank
@@ -207,7 +314,7 @@ func (db *DB) RebuildIndexes(tm *catalog.TableMeta) error {
 }
 
 // Query parses, plans, optimizes and executes a SELECT or set-operation
-// statement.
+// statement. Repeated SELECT templates are served from the plan cache.
 func (db *DB) Query(src string) (*Rows, error) {
 	st, err := sql.Parse(src)
 	if err != nil {
@@ -215,9 +322,17 @@ func (db *DB) Query(src string) (*Rows, error) {
 	}
 	switch s := st.(type) {
 	case *sql.SelectStmt:
-		return db.runSelect(s)
+		// Ad-hoc queries never consult the shared plan cache (no
+		// parameters can be bound through this path), so the normalized
+		// template is not needed.
+		return db.querySelect(s, "", nil, nil, nil)
 	case *sql.SetOpStmt:
-		return db.runSetOp(s)
+		if n := sql.CountParams(st); n > 0 {
+			return nil, fmt.Errorf("engine: statement has %d unbound parameter(s); use Prepare", n)
+		}
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.runSetOp(s, nil)
 	default:
 		return nil, fmt.Errorf("engine: Query expects a SELECT statement")
 	}
@@ -229,6 +344,11 @@ func (db *DB) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if n := sql.CountParams(st); n > 0 {
+		return "", fmt.Errorf("engine: cannot EXPLAIN a statement with %d unbound parameter(s)", n)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	switch s := st.(type) {
 	case *sql.SelectStmt:
 		q, _, err := db.bind(s)
@@ -419,55 +539,4 @@ func (db *DB) opaquePredicate(index int, term sql.OrderTerm, tables []optimizer.
 		Cost:   0.1,
 		MaxVal: math.Inf(1),
 	}, nil
-}
-
-// runSelect optimizes and executes a bound SELECT.
-func (db *DB) runSelect(sel *sql.SelectStmt) (*Rows, error) {
-	q, spec, err := db.bind(sel)
-	if err != nil {
-		return nil, err
-	}
-	res, err := optimizer.Optimize(q, db.Options)
-	if err != nil {
-		return nil, err
-	}
-	op, err := res.Plan.Build(res.Env)
-	if err != nil {
-		return nil, err
-	}
-	// Apply the projection at the very top.
-	if len(sel.Projection) > 0 {
-		idx := make([]int, len(sel.Projection))
-		for i, c := range sel.Projection {
-			j := op.Schema().ColumnIndex(c.Table, c.Name)
-			if j == -1 {
-				return nil, fmt.Errorf("engine: projected column %s not found", c)
-			}
-			if j == -2 {
-				return nil, fmt.Errorf("engine: projected column %s is ambiguous", c)
-			}
-			idx[i] = j
-		}
-		p, err := exec.NewProject(op, idx)
-		if err != nil {
-			return nil, err
-		}
-		op = p
-	}
-
-	ctx := exec.NewContext(spec)
-	ctx.SpinPerCostUnit = db.SpinPerCostUnit
-	tuples, err := exec.Run(ctx, op)
-	if err != nil {
-		return nil, err
-	}
-	rows := &Rows{Plan: res.Plan, Stats: ctx.Stats, ExecTree: exec.FormatTree(op)}
-	for _, c := range op.Schema().Columns {
-		rows.Columns = append(rows.Columns, c.QualifiedName())
-	}
-	for _, t := range tuples {
-		rows.Data = append(rows.Data, t.Values)
-		rows.Scores = append(rows.Scores, t.Score)
-	}
-	return rows, nil
 }

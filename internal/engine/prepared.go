@@ -1,0 +1,275 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"ranksql/internal/exec"
+	"ranksql/internal/optimizer"
+	"ranksql/internal/sql"
+	"ranksql/internal/types"
+)
+
+// Prepared is a parsed statement template with `?` placeholders. It is
+// immutable and safe for concurrent use: every execution binds its own
+// parameter values into fresh copies of the template (and of the cached
+// plan), never into shared state.
+type Prepared struct {
+	db        *DB
+	src       string
+	norm      string
+	stmt      sql.Stmt
+	numParams int
+
+	// Literal-only (zero-parameter) SELECTs are cached per statement
+	// rather than in the shared LRU: their normalized text embeds the
+	// literals, so admitting them globally would let ad-hoc traffic
+	// churn out the genuinely reusable parameterized templates.
+	localMu      sync.Mutex
+	localPlan    *CompiledPlan
+	localVersion uint64
+}
+
+// Prepare parses a statement once for repeated execution.
+func (db *DB) Prepare(src string) (*Prepared, error) {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := st.(*sql.SetOpStmt); ok && sql.CountParams(st) > 0 {
+		return nil, fmt.Errorf("engine: parameters are not supported in set-operation statements")
+	}
+	return &Prepared{
+		db:        db,
+		src:       src,
+		norm:      sql.Normalize(st),
+		stmt:      st,
+		numParams: sql.CountParams(st),
+	}, nil
+}
+
+// SQL returns the original statement text.
+func (p *Prepared) SQL() string { return p.src }
+
+// Normalized returns the canonical template text (the plan-cache key's
+// statement component).
+func (p *Prepared) Normalized() string { return p.norm }
+
+// NumParams returns the number of `?` placeholders.
+func (p *Prepared) NumParams() int { return p.numParams }
+
+// IsQuery reports whether the statement returns rows (SELECT / set op).
+func (p *Prepared) IsQuery() bool {
+	switch p.stmt.(type) {
+	case *sql.SelectStmt, *sql.SetOpStmt:
+		return true
+	}
+	return false
+}
+
+// Query executes a prepared SELECT with the given parameter values.
+func (p *Prepared) Query(params []types.Value) (*Rows, error) {
+	return p.QueryCancel(params, nil)
+}
+
+// QueryCancel is Query with a cancellation channel: closing cancel
+// interrupts execution at the next cancellation point.
+func (p *Prepared) QueryCancel(params []types.Value, cancel <-chan struct{}) (*Rows, error) {
+	switch s := p.stmt.(type) {
+	case *sql.SelectStmt:
+		return p.db.querySelect(s, p.norm, params, cancel, p)
+	case *sql.SetOpStmt:
+		if len(params) != 0 {
+			return nil, fmt.Errorf("engine: set-operation statements take no parameters")
+		}
+		p.db.mu.RLock()
+		defer p.db.mu.RUnlock()
+		return p.db.runSetOp(s, cancel)
+	default:
+		return nil, fmt.Errorf("engine: prepared statement is not a query; use Exec")
+	}
+}
+
+// Exec executes a prepared DDL/DML statement with the given parameters.
+func (p *Prepared) Exec(params []types.Value) (*Result, error) {
+	switch p.stmt.(type) {
+	case *sql.SelectStmt, *sql.SetOpStmt:
+		return nil, fmt.Errorf("engine: use Query for SELECT statements")
+	}
+	st, err := sql.BindParams(p.stmt, params)
+	if err != nil {
+		return nil, err
+	}
+	return p.db.execStmt(st)
+}
+
+// querySelect runs a SELECT template with bound parameters through the
+// plan cache: on a hit the parse/bind/optimize pipeline is skipped and the
+// cached plan is re-instantiated with the new values. Parameterized
+// templates share the DB-wide LRU; literal-only statements are cached on
+// their Prepared handle (pr; nil for ad-hoc queries, which then skip
+// caching so one-off literal SQL cannot evict hot templates).
+func (db *DB) querySelect(sel *sql.SelectStmt, norm string, params []types.Value, cancel <-chan struct{}, pr *Prepared) (*Rows, error) {
+	// The placeholder count is cached on the prepared statement; walking
+	// the expression trees on every execution would tax the hot path.
+	var want int
+	if pr != nil {
+		want = pr.numParams
+	} else {
+		want = sql.CountParams(sel)
+	}
+	if want != len(params) {
+		return nil, fmt.Errorf("engine: statement has %d parameter(s), %d value(s) bound", want, len(params))
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	// Resolve the effective k: it is part of the plan identity because the
+	// rank-aware optimizer's plan choice depends on the top-k depth.
+	k := sel.Limit
+	if sel.LimitParam > 0 {
+		n, err := sql.LimitValue(params, sel.LimitParam)
+		if err != nil {
+			return nil, err
+		}
+		k = n
+	}
+
+	// Cached-plan lookup.
+	parameterized := want > 0
+	var cp *CompiledPlan
+	switch {
+	case parameterized:
+		cp = db.Plans.Get(planKey{norm: norm, k: k, version: db.version})
+	case pr != nil:
+		pr.localMu.Lock()
+		if pr.localPlan != nil && pr.localVersion == db.version {
+			cp = pr.localPlan
+		}
+		pr.localMu.Unlock()
+	}
+	if cp != nil {
+		rows, err := db.runCompiled(cp, params, cancel)
+		if err != nil {
+			return nil, err
+		}
+		rows.CacheHit = true
+		return rows, nil
+	}
+
+	// Miss: bind, compile, store, and execute the operator tree the
+	// compiler already built.
+	bound, err := sql.BindParams(sel, params)
+	if err != nil {
+		return nil, err
+	}
+	cp, op, err := db.compileSelect(bound.(*sql.SelectStmt))
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case parameterized:
+		db.Plans.Put(planKey{norm: norm, k: k, version: db.version}, cp)
+	case pr != nil:
+		pr.localMu.Lock()
+		pr.localPlan, pr.localVersion = cp, db.version
+		pr.localMu.Unlock()
+	}
+	return db.execOperator(cp, op, cancel)
+}
+
+// compileSelect binds and optimizes a SELECT (whose parameters are already
+// bound) into a reusable CompiledPlan, returning the operator tree it
+// built while resolving the output schema so the triggering execution can
+// run it directly instead of rebuilding. Callers hold db.mu.
+func (db *DB) compileSelect(sel *sql.SelectStmt) (*CompiledPlan, exec.Operator, error) {
+	q, spec, err := db.bind(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := optimizer.Optimize(q, db.Options)
+	if err != nil {
+		return nil, nil, err
+	}
+	op, err := res.Plan.Build(res.Env)
+	if err != nil {
+		return nil, nil, err
+	}
+	cp := &CompiledPlan{
+		Plan:      res.Plan,
+		Env:       res.Env,
+		Spec:      spec,
+		HasParams: res.Plan.HasParams(),
+	}
+	if len(sel.Projection) > 0 {
+		idx := make([]int, len(sel.Projection))
+		for i, c := range sel.Projection {
+			j := op.Schema().ColumnIndex(c.Table, c.Name)
+			if j == -1 {
+				return nil, nil, fmt.Errorf("engine: projected column %s not found", c)
+			}
+			if j == -2 {
+				return nil, nil, fmt.Errorf("engine: projected column %s is ambiguous", c)
+			}
+			idx[i] = j
+		}
+		cp.Proj = idx
+		pr, err := exec.NewProject(op, idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		op = pr
+	}
+	for _, c := range op.Schema().Columns {
+		cp.Columns = append(cp.Columns, c.QualifiedName())
+	}
+	return cp, op, nil
+}
+
+// runCompiled instantiates a compiled plan with the given parameter
+// values and executes it. Callers hold db.mu (read side).
+func (db *DB) runCompiled(cp *CompiledPlan, params []types.Value, cancel <-chan struct{}) (*Rows, error) {
+	plan := cp.Plan
+	if cp.HasParams {
+		bound, err := optimizer.BindPlanParams(cp.Plan, params)
+		if err != nil {
+			return nil, err
+		}
+		plan = bound
+	}
+	op, err := plan.Build(cp.Env)
+	if err != nil {
+		return nil, err
+	}
+	if cp.Proj != nil {
+		pr, err := exec.NewProject(op, cp.Proj)
+		if err != nil {
+			return nil, err
+		}
+		op = pr
+	}
+	return db.execOperator(cp, op, cancel)
+}
+
+// execOperator runs a built operator tree and materializes the result.
+// Callers hold db.mu (read side).
+func (db *DB) execOperator(cp *CompiledPlan, op exec.Operator, cancel <-chan struct{}) (*Rows, error) {
+	ctx := exec.NewContext(cp.Spec)
+	ctx.SpinPerCostUnit = db.SpinPerCostUnit
+	ctx.Cancel = cancel
+	tuples, err := exec.Run(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	rows := &Rows{
+		Columns:  append([]string(nil), cp.Columns...),
+		Plan:     cp.Plan,
+		Stats:    ctx.Stats,
+		ExecTree: exec.SnapshotTree(op).String,
+	}
+	for _, t := range tuples {
+		rows.Data = append(rows.Data, t.Values)
+		rows.Scores = append(rows.Scores, t.Score)
+	}
+	return rows, nil
+}

@@ -34,7 +34,7 @@ func (db *DB) sideQuery(sel *sql.SelectStmt, terms []sql.OrderTerm) (*optimizer.
 }
 
 // runSetOp plans and executes a set-operation statement.
-func (db *DB) runSetOp(st *sql.SetOpStmt) (*Rows, error) {
+func (db *DB) runSetOp(st *sql.SetOpStmt, cancel <-chan struct{}) (*Rows, error) {
 	lop, rop, spec, err := db.buildSetOp(st)
 	if err != nil {
 		return nil, err
@@ -57,11 +57,12 @@ func (db *DB) runSetOp(st *sql.SetOpStmt) (*Rows, error) {
 
 	ctx := exec.NewContext(spec)
 	ctx.SpinPerCostUnit = db.SpinPerCostUnit
+	ctx.Cancel = cancel
 	tuples, err := exec.Run(ctx, root)
 	if err != nil {
 		return nil, err
 	}
-	rows := &Rows{Stats: ctx.Stats, ExecTree: exec.FormatTree(root)}
+	rows := &Rows{Stats: ctx.Stats, ExecTree: exec.SnapshotTree(root).String}
 	for _, c := range root.Schema().Columns {
 		rows.Columns = append(rows.Columns, c.QualifiedName())
 	}

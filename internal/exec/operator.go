@@ -113,10 +113,38 @@ func CollectCounts(op Operator) []OpCount {
 // FormatTree renders the operator tree with output counts, for EXPLAIN
 // ANALYZE style output.
 func FormatTree(op Operator) string {
-	var b strings.Builder
+	return SnapshotTree(op).String()
+}
+
+// TreeSnapshot is a compact record of an executed operator tree: just the
+// labels and output counts, without retaining the operators (and their
+// buffers) themselves.
+type TreeSnapshot []TreeNode
+
+// TreeNode is one operator line of a TreeSnapshot.
+type TreeNode struct {
+	Depth int
+	Label string
+	Out   int64
+}
+
+// SnapshotTree captures the tree's labels and counters; the operators are
+// not referenced afterwards, so their buffers can be collected while the
+// snapshot lives on in a result.
+func SnapshotTree(op Operator) TreeSnapshot {
+	var ts TreeSnapshot
 	Walk(op, func(o Operator, d int) {
-		fmt.Fprintf(&b, "%s%s (out=%d)\n", strings.Repeat("  ", d), o.Name(), o.OutCount())
+		ts = append(ts, TreeNode{Depth: d, Label: o.Name(), Out: o.OutCount()})
 	})
+	return ts
+}
+
+// String renders the snapshot EXPLAIN-ANALYZE style.
+func (ts TreeSnapshot) String() string {
+	var b strings.Builder
+	for _, n := range ts {
+		fmt.Fprintf(&b, "%s%s (out=%d)\n", strings.Repeat("  ", n.Depth), n.Label, n.Out)
+	}
 	return b.String()
 }
 

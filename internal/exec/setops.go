@@ -47,8 +47,12 @@ func (s *setOpBase) initSetOp(left, right Operator) error {
 
 func (s *setOpBase) openBase(ctx *Context) error {
 	s.reset()
-	s.lp = s.left.Evaluated()
-	s.rp = s.right.Evaluated()
+	// Clamp to the spec's predicate universe: fully-sorting operators
+	// report the all-ones sentinel ("everything evaluated"), whose bits
+	// beyond len(Spec.Preds) must not be dereferenced below.
+	all := ctx.Spec.AllEvaluated()
+	s.lp = s.left.Evaluated().Intersect(all)
+	s.rp = s.right.Evaluated().Intersect(all)
 	s.lDone, s.rDone = false, false
 	s.lastL, s.lastR = math.Inf(1), math.Inf(1)
 	s.drawLeft = false

@@ -32,12 +32,80 @@ func NewConst(v types.Value) *Const { return &Const{Val: v} }
 // Eval implements Expr.
 func (c *Const) Eval(*schema.Tuple) (types.Value, error) { return c.Val, nil }
 
-// String implements Expr.
+// String implements Expr. String literals are rendered as valid SQL with
+// embedded quotes doubled, so the rendering is unambiguous (the plan
+// cache keys on it).
 func (c *Const) String() string {
 	if c.Val.Kind() == types.KindString {
-		return "'" + c.Val.Str() + "'"
+		return "'" + strings.ReplaceAll(c.Val.Str(), "'", "''") + "'"
 	}
 	return c.Val.String()
+}
+
+// Param is a positional query parameter (the `?` placeholder of a
+// prepared statement). It renders as "?" and evaluates to the value bound
+// at execution time; evaluating an unbound parameter is an error, so a
+// parameterized plan can never silently run with stale values.
+type Param struct {
+	// Index is the 0-based position among the statement's placeholders.
+	Index int
+	// Val is the bound value; meaningful only when Bound is set.
+	Val   types.Value
+	Bound bool
+}
+
+// NewParam returns an unbound parameter for placeholder position i.
+func NewParam(i int) *Param { return &Param{Index: i} }
+
+// Eval implements Expr.
+func (p *Param) Eval(*schema.Tuple) (types.Value, error) {
+	if !p.Bound {
+		return types.Null(), fmt.Errorf("expr: parameter ?%d is not bound", p.Index+1)
+	}
+	return p.Val, nil
+}
+
+// String implements Expr.
+func (p *Param) String() string { return "?" }
+
+// SubstParams returns a deep copy of e with every parameter placeholder
+// bound to the corresponding value in vals. The original tree is left
+// untouched, so one parameterized template can serve concurrent
+// executions with different bindings.
+func SubstParams(e Expr, vals []types.Value) (Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	c := Clone(e)
+	var err error
+	Walk(c, func(n Expr) {
+		p, ok := n.(*Param)
+		if !ok || err != nil {
+			return
+		}
+		if p.Index < 0 || p.Index >= len(vals) {
+			err = fmt.Errorf("expr: parameter ?%d has no bound value (%d given)", p.Index+1, len(vals))
+			return
+		}
+		p.Val = vals[p.Index]
+		p.Bound = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// CountParams returns the number of parameter positions referenced by e
+// (max placeholder index + 1).
+func CountParams(e Expr) int {
+	n := 0
+	Walk(e, func(node Expr) {
+		if p, ok := node.(*Param); ok && p.Index+1 > n {
+			n = p.Index + 1
+		}
+	})
+	return n
 }
 
 // Col is a column reference. Table may be empty for unqualified references.
@@ -360,6 +428,9 @@ func Clone(e Expr) Expr {
 	case *Col:
 		c := *n
 		return &c
+	case *Param:
+		p := *n
+		return &p
 	case *Binary:
 		return &Binary{Op: n.Op, L: Clone(n.L), R: Clone(n.R)}
 	case *Not:

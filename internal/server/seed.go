@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ranksql"
+)
+
+// Rng is a xorshift-style deterministic generator, shared by dataset
+// seeding and the bench load generator so datasets and workloads are
+// reproducible across runs and processes.
+type Rng uint64
+
+// NewRng returns a generator for a non-zero-ified seed.
+func NewRng(seed uint64) Rng { return Rng(seed | 1) }
+
+// Next returns the next pseudo-random 64-bit value.
+func (r *Rng) Next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = Rng(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float returns a uniform float64 in [0, 1).
+func (r *Rng) Float() float64 { return float64(r.Next()>>11) / (1 << 53) }
+
+// Intn returns a uniform int in [0, n).
+func (r *Rng) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// SeedWebshop loads the webshop example schema: a product table with n
+// rows, the rating/popular/bargain scorers, and rank indexes over each
+// criterion. Mirrors examples/webshop.
+func SeedWebshop(db *ranksql.DB, n int) error {
+	if err := db.RegisterScorer("rating", func(args []ranksql.Value) float64 {
+		return args[0].Float() / 5
+	}, ranksql.WithCost(1)); err != nil {
+		return err
+	}
+	if err := db.RegisterScorer("popular", func(args []ranksql.Value) float64 {
+		return math.Log1p(args[0].Float()) / math.Log1p(100000)
+	}, ranksql.WithCost(1)); err != nil {
+		return err
+	}
+	if err := db.RegisterScorer("bargain", func(args []ranksql.Value) float64 {
+		return math.Max(0, 1-args[0].Float()/500)
+	}, ranksql.WithCost(1)); err != nil {
+		return err
+	}
+	if _, err := db.Exec(`CREATE TABLE product (name TEXT, price FLOAT, stars FLOAT, sales INT, in_stock BOOL)`); err != nil {
+		return err
+	}
+	r := NewRng(99)
+	var batch []string
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, err := db.Exec("INSERT INTO product VALUES " + strings.Join(batch, ", "))
+		batch = batch[:0]
+		return err
+	}
+	for i := 0; i < n; i++ {
+		stock := "true"
+		if r.Float() < 0.15 {
+			stock = "false"
+		}
+		batch = append(batch, fmt.Sprintf("('SKU-%05d', %.2f, %.1f, %d, %s)",
+			i, 5+r.Float()*495, 1+4*r.Float(), r.Intn(100000), stock))
+		if len(batch) == 500 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	for _, ddl := range []string{
+		`CREATE RANK INDEX ON product (rating(stars))`,
+		`CREATE RANK INDEX ON product (popular(sales))`,
+		`CREATE RANK INDEX ON product (bargain(price))`,
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeedTripplanner loads the tripplanner example schema: hotels and
+// restaurants joined on address blocks, with cheap/close scorers and rank
+// indexes. n sizes the hotel table; restaurants get 2n rows.
+func SeedTripplanner(db *ranksql.DB, n int) error {
+	if err := db.RegisterScorer("cheap", func(args []ranksql.Value) float64 {
+		return math.Max(0, 1-args[0].Float()/500)
+	}, ranksql.WithCost(1)); err != nil {
+		return err
+	}
+	if err := db.RegisterScorer("close", func(args []ranksql.Value) float64 {
+		return 1 / (1 + math.Abs(args[0].Float()-args[1].Float())/10)
+	}, ranksql.WithCost(2)); err != nil {
+		return err
+	}
+	if _, err := db.Exec(`CREATE TABLE hotel (name TEXT, price FLOAT, addr INT)`); err != nil {
+		return err
+	}
+	if _, err := db.Exec(`CREATE TABLE restaurant (name TEXT, price FLOAT, addr INT)`); err != nil {
+		return err
+	}
+	blocks := n/10 + 1
+	r := NewRng(7)
+	var batch []string
+	flushInto := func(table string) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, err := db.Exec("INSERT INTO " + table + " VALUES " + strings.Join(batch, ", "))
+		batch = batch[:0]
+		return err
+	}
+	for i := 0; i < n; i++ {
+		batch = append(batch, fmt.Sprintf("('Hotel-%04d', %.2f, %d)", i, 30+r.Float()*470, r.Intn(blocks)))
+		if len(batch) == 500 {
+			if err := flushInto("hotel"); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushInto("hotel"); err != nil {
+		return err
+	}
+	for i := 0; i < 2*n; i++ {
+		batch = append(batch, fmt.Sprintf("('Rest-%04d', %.2f, %d)", i, 5+r.Float()*195, r.Intn(blocks)))
+		if len(batch) == 500 {
+			if err := flushInto("restaurant"); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushInto("restaurant"); err != nil {
+		return err
+	}
+	for _, ddl := range []string{
+		`CREATE RANK INDEX ON hotel (cheap(price))`,
+		`CREATE RANK INDEX ON restaurant (cheap(price))`,
+		`CREATE INDEX ON hotel (addr)`,
+		`CREATE INDEX ON restaurant (addr)`,
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seed loads a named example dataset ("webshop" or "tripplanner"); n
+// scales the base table size.
+func Seed(db *ranksql.DB, dataset string, n int) error {
+	switch strings.ToLower(dataset) {
+	case "webshop":
+		return SeedWebshop(db, n)
+	case "tripplanner":
+		return SeedTripplanner(db, n)
+	case "", "none":
+		return nil
+	default:
+		return fmt.Errorf("server: unknown dataset %q (want webshop, tripplanner or none)", dataset)
+	}
+}

@@ -1,0 +1,392 @@
+// Package server implements ranksqld, a concurrent HTTP/JSON query
+// service over an embedded RankSQL database.
+//
+// The service exposes session management, prepared statements with `?`
+// parameter binding, ad-hoc queries, and an operational /stats endpoint.
+// Ranked top-k workloads are repeated-template, varying-parameter
+// workloads, so the daemon leans on the engine's plan cache: the first
+// execution of a template pays for parsing and rank-aware optimization,
+// every later execution (any session, any parameters) goes straight to
+// incremental top-k execution.
+//
+// Endpoints (all request/response bodies are JSON):
+//
+//	POST /session        {}                                -> {session_id}
+//	POST /session/close  {session_id}                      -> {closed}
+//	POST /prepare        {sql, session_id?}                -> {stmt_id, num_params, is_query, normalized}
+//	POST /stmt/close     {stmt_id, session_id?}            -> {closed}
+//	POST /query          {sql | stmt_id [+session_id], params?} -> {columns, rows, scores, cache_hit, stats, elapsed_ms}
+//	POST /exec           {sql | stmt_id [+session_id], params?} -> {rows_affected, message}
+//	GET  /stats                                            -> Snapshot
+//	GET  /healthz                                          -> {status: "ok"}
+//
+// Parameters bind positionally to `?` placeholders; JSON numbers without
+// a fractional part bind as integers, with one as floats.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"ranksql"
+)
+
+// Server is the ranksqld HTTP query service.
+type Server struct {
+	db       *ranksql.DB
+	sessions *sessionTable
+	metrics  *metrics
+	logf     func(format string, args ...interface{})
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger replaces the server's log function (default log.Printf).
+func WithLogger(logf func(format string, args ...interface{})) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
+// New builds a Server over an opened database. The caller seeds the
+// database (schemas, scorers, data) before serving.
+func New(db *ranksql.DB, opts ...Option) *Server {
+	s := &Server{
+		db:       db,
+		sessions: newSessionTable(),
+		metrics:  newMetrics(),
+		logf:     log.Printf,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// DB returns the underlying database (for seeding and tests).
+func (s *Server) DB() *ranksql.DB { return s.db }
+
+// Handler returns the HTTP handler serving the daemon's endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/session", s.post(s.handleSessionOpen))
+	mux.HandleFunc("/session/close", s.post(s.handleSessionClose))
+	mux.HandleFunc("/prepare", s.post(s.handlePrepare))
+	mux.HandleFunc("/stmt/close", s.post(s.handleStmtClose))
+	mux.HandleFunc("/query", s.post(s.handleQuery))
+	mux.HandleFunc("/exec", s.post(s.handleExec))
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// Serve listens on addr and serves until ctx is cancelled, then shuts
+// down gracefully (in-flight requests get up to 5 seconds to finish).
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeListener(ctx, ln)
+}
+
+// ServeListener is Serve over an existing listener (tests use :0).
+func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	s.logf("ranksqld: serving on %s", ln.Addr())
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		s.logf("ranksqld: shut down")
+		return nil
+	case err := <-errc:
+		return err
+	}
+}
+
+// request is the shared request envelope for the POST endpoints.
+type request struct {
+	SQL       string        `json:"sql,omitempty"`
+	SessionID string        `json:"session_id,omitempty"`
+	StmtID    string        `json:"stmt_id,omitempty"`
+	Params    []interface{} `json:"params,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// post wraps a handler with method filtering and envelope decoding.
+func (s *Server) post(h func(http.ResponseWriter, *http.Request, *request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+			return
+		}
+		var req request
+		dec := json.NewDecoder(r.Body)
+		dec.UseNumber()
+		// An empty body is an empty request (POST /session has no fields).
+		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+			return
+		}
+		h(w, r, &req)
+	}
+}
+
+func (s *Server) handleSessionOpen(w http.ResponseWriter, _ *http.Request, _ *request) {
+	sess := s.sessions.create()
+	writeJSON(w, http.StatusOK, map[string]string{"session_id": sess.ID})
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, _ *http.Request, req *request) {
+	if !s.sessions.close(req.SessionID) {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no session %q", req.SessionID)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, _ *http.Request, req *request) {
+	if strings.TrimSpace(req.SQL) == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"sql is required"})
+		return
+	}
+	sess, ok := s.sessions.get(req.SessionID)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no session %q", req.SessionID)})
+		return
+	}
+	stmt, err := s.db.Prepare(req.SQL)
+	if err != nil {
+		s.metrics.recordError("")
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	id, err := sess.addStmt(stmt)
+	if err != nil {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"session_id": sess.ID,
+		"stmt_id":    id,
+		"num_params": stmt.NumParams(),
+		"is_query":   stmt.IsQuery(),
+		"normalized": stmt.Normalized(),
+	})
+}
+
+func (s *Server) handleStmtClose(w http.ResponseWriter, _ *http.Request, req *request) {
+	sess, ok := s.sessions.get(req.SessionID)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no session %q", req.SessionID)})
+		return
+	}
+	if !sess.closeStmt(req.StmtID) {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no statement %q", req.StmtID)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+}
+
+// resolveStmt finds the statement a request refers to: an existing
+// prepared one (stmt_id) or an ad-hoc one (sql).
+func (s *Server) resolveStmt(req *request) (*ranksql.Stmt, int, error) {
+	switch {
+	case req.StmtID != "":
+		sess, ok := s.sessions.get(req.SessionID)
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("no session %q", req.SessionID)
+		}
+		stmt, ok := sess.stmt(req.StmtID)
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("no statement %q in session %q", req.StmtID, req.SessionID)
+		}
+		return stmt, 0, nil
+	case strings.TrimSpace(req.SQL) != "":
+		stmt, err := s.db.Prepare(req.SQL)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		return stmt, 0, nil
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("either sql or stmt_id is required")
+	}
+}
+
+// queryStats is the per-request execution counter payload.
+type queryStats struct {
+	TuplesScanned int64   `json:"tuples_scanned"`
+	PredEvals     int64   `json:"pred_evals"`
+	Comparisons   int64   `json:"comparisons"`
+	JoinProbes    int64   `json:"join_probes"`
+	PeakBuffered  int64   `json:"peak_buffered"`
+	PredCostUnits float64 `json:"pred_cost_units"`
+}
+
+type queryResponse struct {
+	Columns   []string        `json:"columns"`
+	Rows      [][]interface{} `json:"rows"`
+	Scores    []float64       `json:"scores"`
+	CacheHit  bool            `json:"cache_hit"`
+	Stats     queryStats      `json:"stats"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *request) {
+	stmt, code, err := s.resolveStmt(req)
+	if err != nil {
+		s.metrics.recordError("")
+		writeJSON(w, code, errorResponse{err.Error()})
+		return
+	}
+	args, err := jsonParams(req.Params)
+	if err != nil {
+		s.metrics.recordError(stmt.Normalized())
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	start := time.Now()
+	rows, err := stmt.QueryContext(r.Context(), args...)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client disconnected or timed out mid-query: nobody is
+			// listening for the response, and it is not a query error.
+			return
+		}
+		s.metrics.recordError(stmt.Normalized())
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	elapsed := time.Since(start)
+	s.metrics.recordQuery(stmt.Normalized(), elapsed, rows.Len(), rows.Stats.TuplesScanned, rows.CacheHit)
+
+	resp := queryResponse{
+		Columns:  rows.Columns,
+		Rows:     make([][]interface{}, 0, rows.Len()),
+		Scores:   rows.Scores,
+		CacheHit: rows.CacheHit,
+		Stats: queryStats{
+			TuplesScanned: rows.Stats.TuplesScanned,
+			PredEvals:     rows.Stats.PredEvals,
+			Comparisons:   rows.Stats.Comparisons,
+			JoinProbes:    rows.Stats.JoinProbes,
+			PeakBuffered:  rows.Stats.PeakBuffered,
+			PredCostUnits: rows.Stats.PredCostUnits,
+		},
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	for i := 0; i < rows.Len(); i++ {
+		vals := rows.At(i)
+		row := make([]interface{}, len(vals))
+		for j, v := range vals {
+			row[j] = v.Any()
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	if resp.Scores == nil {
+		resp.Scores = []float64{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, _ *http.Request, req *request) {
+	stmt, code, err := s.resolveStmt(req)
+	if err != nil {
+		s.metrics.recordError("")
+		writeJSON(w, code, errorResponse{err.Error()})
+		return
+	}
+	args, err := jsonParams(req.Params)
+	if err != nil {
+		s.metrics.recordError(stmt.Normalized())
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	res, err := stmt.Exec(args...)
+	if err != nil {
+		s.metrics.recordError(stmt.Normalized())
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	s.metrics.recordExec()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"rows_affected": res.RowsAffected,
+		"message":       res.Message,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	snap := s.metrics.snapshot()
+	cs := s.db.PlanCacheStats()
+	snap.PlanCache = CacheSnapshot{
+		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+		Entries: cs.Entries, Capacity: cs.Capacity, HitRate: cs.HitRate(),
+	}
+	snap.Sessions = s.sessions.count()
+	snap.TablesServed = s.db.Tables()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// jsonParams converts decoded JSON parameter values into Go values the
+// ranksql API accepts. Numbers were decoded as json.Number; integral ones
+// bind as int64 so LIMIT and integer-column comparisons behave.
+func jsonParams(params []interface{}) ([]interface{}, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	out := make([]interface{}, len(params))
+	for i, p := range params {
+		switch v := p.(type) {
+		case nil, bool, string:
+			out[i] = v
+		case json.Number:
+			if !strings.ContainsAny(v.String(), ".eE") {
+				n, err := v.Int64()
+				if err != nil {
+					return nil, fmt.Errorf("param %d: %v", i, err)
+				}
+				out[i] = n
+				continue
+			}
+			f, err := v.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("param %d: %v", i, err)
+			}
+			out[i] = f
+		default:
+			return nil, fmt.Errorf("param %d: unsupported JSON type %T (use scalars)", i, p)
+		}
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ranksql"
+)
+
+// Session holds per-connection state: the prepared statements a client
+// has registered. Sessions are cheap; a client typically creates one,
+// prepares its query templates once, and executes them many times.
+type Session struct {
+	ID      string    `json:"session_id"`
+	Created time.Time `json:"created"`
+
+	mu       sync.Mutex
+	stmts    map[string]*ranksql.Stmt
+	nextStmt uint64
+}
+
+// maxStmtsPerSession bounds how many prepared statements one session may
+// hold at once, so clients that never /stmt/close (notably against the
+// unclosable default session) cannot grow server memory without limit.
+const maxStmtsPerSession = 1024
+
+// addStmt registers a prepared statement and returns its id.
+func (s *Session) addStmt(st *ranksql.Stmt) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.stmts) >= maxStmtsPerSession {
+		return "", fmt.Errorf("session %q already holds %d prepared statements; close some via /stmt/close", s.ID, len(s.stmts))
+	}
+	s.nextStmt++
+	id := fmt.Sprintf("stmt-%d", s.nextStmt)
+	s.stmts[id] = st
+	return id, nil
+}
+
+// stmt looks up a prepared statement.
+func (s *Session) stmt(id string) (*ranksql.Stmt, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stmts[id]
+	return st, ok
+}
+
+// closeStmt deallocates one prepared statement.
+func (s *Session) closeStmt(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stmts[id]; !ok {
+		return false
+	}
+	delete(s.stmts, id)
+	return true
+}
+
+// sessionTable manages the server's sessions. Session "" (the default
+// session) always exists and serves sessionless clients.
+type sessionTable struct {
+	mu      sync.Mutex
+	m       map[string]*Session
+	nextID  uint64
+	started time.Time
+}
+
+func newSessionTable() *sessionTable {
+	st := &sessionTable{m: map[string]*Session{}, started: time.Now()}
+	st.m[""] = &Session{ID: "", Created: time.Now(), stmts: map[string]*ranksql.Stmt{}}
+	return st
+}
+
+// create opens a new session.
+func (t *sessionTable) create() *Session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &Session{
+		ID:      fmt.Sprintf("sess-%d", t.nextID),
+		Created: time.Now(),
+		stmts:   map[string]*ranksql.Stmt{},
+	}
+	t.m[s.ID] = s
+	return s
+}
+
+// get resolves a session id ("" = default session).
+func (t *sessionTable) get(id string) (*Session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.m[id]
+	return s, ok
+}
+
+// close removes a session and its prepared statements. The default
+// session cannot be closed.
+func (t *sessionTable) close(id string) bool {
+	if id == "" {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[id]; !ok {
+		return false
+	}
+	delete(t.m, id)
+	return true
+}
+
+// count reports open sessions (excluding the default one).
+func (t *sessionTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m) - 1
+}

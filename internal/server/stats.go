@@ -1,0 +1,214 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// qpsWindow tracks request counts in per-second buckets over the last
+// windowSeconds seconds, for a recent-QPS figure that reacts to load
+// changes (unlike a since-start average).
+const windowSeconds = 30
+
+// maxTemplates bounds the per-template metrics map: ad-hoc queries with
+// inline literals mint a distinct normalized template per literal
+// combination, which must not grow server memory without limit. Overflow
+// aggregates under one bucket.
+const (
+	maxTemplates     = 512
+	overflowTemplate = "(other templates)"
+)
+
+// metrics aggregates server-wide and per-template counters.
+type metrics struct {
+	mu      sync.Mutex
+	started time.Time
+
+	queries  uint64 // SELECTs served
+	execs    uint64 // DDL/DML served
+	errors   uint64
+	querySum time.Duration // total query latency
+
+	buckets   [windowSeconds]uint64
+	bucketSec [windowSeconds]int64
+
+	perQuery map[string]*templateMetrics
+}
+
+// templateMetrics aggregates executions of one normalized query template.
+type templateMetrics struct {
+	Count     uint64  `json:"count"`
+	CacheHits uint64  `json:"cache_hits"`
+	Errors    uint64  `json:"errors"`
+	Rows      uint64  `json:"rows_total"`
+	MaxDepthK int     `json:"max_depth_k"`
+	AvgDepthK float64 `json:"avg_depth_k"`
+	Scanned   uint64  `json:"tuples_scanned_total"`
+	AvgMS     float64 `json:"avg_latency_ms"`
+
+	totalMS float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{started: time.Now(), perQuery: map[string]*templateMetrics{}}
+}
+
+// tickLocked registers one request into the QPS window.
+func (m *metrics) tickLocked(now time.Time) {
+	sec := now.Unix()
+	i := int(sec % windowSeconds)
+	if m.bucketSec[i] != sec {
+		m.bucketSec[i] = sec
+		m.buckets[i] = 0
+	}
+	m.buckets[i]++
+}
+
+// recordQuery aggregates one SELECT execution. depthK is the number of
+// ranked rows actually produced (the depth the incremental top-k plan
+// descended to); scanned counts base-table tuples read.
+func (m *metrics) recordQuery(norm string, d time.Duration, depthK int, scanned int64, cacheHit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	m.querySum += d
+	m.tickLocked(time.Now())
+	t := m.templateLocked(norm)
+	t.Count++
+	if cacheHit {
+		t.CacheHits++
+	}
+	t.Rows += uint64(depthK)
+	if depthK > t.MaxDepthK {
+		t.MaxDepthK = depthK
+	}
+	t.Scanned += uint64(scanned)
+	t.totalMS += float64(d) / float64(time.Millisecond)
+}
+
+// recordExec aggregates one DDL/DML execution.
+func (m *metrics) recordExec() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.execs++
+	m.tickLocked(time.Now())
+}
+
+// recordError counts a failed request, attributed to its template when
+// one is known.
+func (m *metrics) recordError(norm string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.errors++
+	if norm != "" {
+		m.templateLocked(norm).Errors++
+	}
+}
+
+// templateLocked finds or creates the aggregate for a template, spilling
+// into the overflow bucket once maxTemplates distinct ones exist.
+func (m *metrics) templateLocked(norm string) *templateMetrics {
+	t := m.perQuery[norm]
+	if t == nil {
+		if len(m.perQuery) >= maxTemplates {
+			norm = overflowTemplate
+			if t = m.perQuery[norm]; t != nil {
+				return t
+			}
+		}
+		t = &templateMetrics{}
+		m.perQuery[norm] = t
+	}
+	return t
+}
+
+// TemplateStats is one per-template row of the /stats payload.
+type TemplateStats struct {
+	Query string `json:"query"`
+	templateMetrics
+}
+
+// Snapshot is the /stats payload (server side; cache counters are merged
+// in by the handler).
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Queries       uint64  `json:"queries"`
+	Execs         uint64  `json:"execs"`
+	Errors        uint64  `json:"errors"`
+	// QPS is the recent rate over the sliding window; QPSTotal the
+	// since-start average.
+	QPS          float64         `json:"qps"`
+	QPSTotal     float64         `json:"qps_total"`
+	AvgQueryMS   float64         `json:"avg_query_ms"`
+	Sessions     int             `json:"sessions"`
+	PerQuery     []TemplateStats `json:"per_query"`
+	PlanCache    CacheSnapshot   `json:"plan_cache"`
+	TablesServed []string        `json:"tables"`
+}
+
+// CacheSnapshot mirrors the plan cache counters in the /stats payload.
+type CacheSnapshot struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// snapshot renders the metrics; the caller fills in cache/session/table
+// fields.
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	uptime := now.Sub(m.started).Seconds()
+
+	// Sum complete buckets in the window (excluding the current second,
+	// which is still filling). The denominator is the seconds the window
+	// actually spans — idle seconds count — so a one-second burst reads
+	// as its average over the window, not its peak rate.
+	var recent uint64
+	nowSec := now.Unix()
+	for i := 0; i < windowSeconds; i++ {
+		if m.bucketSec[i] != 0 && m.bucketSec[i] != nowSec && nowSec-m.bucketSec[i] <= windowSeconds {
+			recent += m.buckets[i]
+		}
+	}
+	secs := int(uptime)
+	if secs > windowSeconds {
+		secs = windowSeconds
+	}
+	snap := Snapshot{
+		UptimeSeconds: uptime,
+		Queries:       m.queries,
+		Execs:         m.execs,
+		Errors:        m.errors,
+	}
+	if secs > 0 {
+		snap.QPS = float64(recent) / float64(secs)
+	} else if i := int(nowSec % windowSeconds); m.bucketSec[i] == nowSec {
+		// The server has only been busy within the current second; report
+		// its partial bucket rather than 0.
+		snap.QPS = float64(m.buckets[i])
+	}
+	if uptime > 0 {
+		snap.QPSTotal = float64(m.queries+m.execs) / uptime
+	}
+	if m.queries > 0 {
+		snap.AvgQueryMS = float64(m.querySum) / float64(time.Millisecond) / float64(m.queries)
+	}
+	for norm, t := range m.perQuery {
+		row := TemplateStats{Query: norm, templateMetrics: *t}
+		if t.Count > 0 {
+			row.AvgDepthK = float64(t.Rows) / float64(t.Count)
+			row.AvgMS = t.totalMS / float64(t.Count)
+		}
+		snap.PerQuery = append(snap.PerQuery, row)
+	}
+	sort.Slice(snap.PerQuery, func(i, j int) bool {
+		return snap.PerQuery[i].Count > snap.PerQuery[j].Count
+	})
+	return snap
+}

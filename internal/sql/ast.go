@@ -32,6 +32,9 @@ type SelectStmt struct {
 	Order      []OrderTerm
 	// Limit is the k of LIMIT k; 0 = absent.
 	Limit int
+	// LimitParam is the 1-based placeholder position of a `LIMIT ?`;
+	// 0 = no placeholder (Limit carries the literal).
+	LimitParam int
 	// Explain marks EXPLAIN SELECT.
 	Explain bool
 }
@@ -66,11 +69,13 @@ func (k SetOpKind) String() string {
 // result, executed with the rank-aware set operators of the algebra
 // (Figure 3).
 type SetOpStmt struct {
-	Kind    SetOpKind
-	L, R    *SelectStmt
-	Order   []OrderTerm
-	Limit   int
-	Explain bool
+	Kind  SetOpKind
+	L, R  *SelectStmt
+	Order []OrderTerm
+	Limit int
+	// LimitParam mirrors SelectStmt.LimitParam for `LIMIT ?`.
+	LimitParam int
+	Explain    bool
 }
 
 func (*SetOpStmt) stmt() {}
@@ -106,10 +111,20 @@ type CreateRankIndexStmt struct {
 
 func (*CreateRankIndexStmt) stmt() {}
 
-// InsertStmt is INSERT INTO t VALUES (...), (...).
+// ParamSlot records a `?` placeholder inside an INSERT VALUES list: the
+// row/column position it fills and the 0-based placeholder index whose
+// bound value goes there.
+type ParamSlot struct {
+	Row, Col int
+	Index    int
+}
+
+// InsertStmt is INSERT INTO t VALUES (...), (...). Placeholder cells hold
+// NULL in Rows and are listed in Params.
 type InsertStmt struct {
-	Table string
-	Rows  [][]types.Value
+	Table  string
+	Rows   [][]types.Value
+	Params []ParamSlot
 }
 
 func (*InsertStmt) stmt() {}

@@ -34,7 +34,7 @@ const (
 	tokIdent
 	tokNumber
 	tokString
-	tokPunct // single/multi char punctuation: ( ) , . * + - / % = <> < <= > >= ;
+	tokPunct // single/multi char punctuation: ( ) , . * + - / % = <> < <= > >= ; ?
 )
 
 type token struct {
@@ -113,7 +113,7 @@ func lex(src string) ([]token, error) {
 				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
 			}
 			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
-		case strings.ContainsRune("(),.*+-/%;", rune(c)):
+		case strings.ContainsRune("(),.*+-/%;?", rune(c)):
 			l.pos++
 			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: start})
 		case c == '=':

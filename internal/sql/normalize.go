@@ -1,0 +1,283 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"ranksql/internal/expr"
+	"ranksql/internal/types"
+)
+
+// Normalize renders a parsed statement in a canonical textual form:
+// uniform keyword case, single spacing, lower-cased identifiers and fully
+// parenthesized expressions, with parameter placeholders kept as `?`.
+// Two statements that normalize identically are the same query template,
+// which is what the plan cache keys on.
+func Normalize(st Stmt) string {
+	switch s := st.(type) {
+	case *SelectStmt:
+		return normalizeSelect(s)
+	case *SetOpStmt:
+		var b strings.Builder
+		b.WriteString(normalizeSelect(s.L))
+		b.WriteString(" ")
+		b.WriteString(s.Kind.String())
+		b.WriteString(" ")
+		b.WriteString(normalizeSelect(s.R))
+		writeOrderLimit(&b, s.Order, s.Limit, s.LimitParam)
+		return b.String()
+	case *InsertStmt:
+		var b strings.Builder
+		fmt.Fprintf(&b, "INSERT INTO %s VALUES ", strings.ToLower(s.Table))
+		slot := 0
+		for i, row := range s.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("(")
+			for j, v := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				if slot < len(s.Params) && s.Params[slot].Row == i && s.Params[slot].Col == j {
+					b.WriteString("?")
+					slot++
+					continue
+				}
+				b.WriteString(renderLiteral(v))
+			}
+			b.WriteString(")")
+		}
+		return b.String()
+	case *CreateTableStmt:
+		cols := make([]string, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = strings.ToLower(c.Name) + " " + strings.ToUpper(c.Kind.String())
+		}
+		return fmt.Sprintf("CREATE TABLE %s (%s)", strings.ToLower(s.Name), strings.Join(cols, ", "))
+	case *CreateIndexStmt:
+		return fmt.Sprintf("CREATE INDEX ON %s (%s)", strings.ToLower(s.Table), strings.ToLower(s.Column))
+	case *CreateRankIndexStmt:
+		cols := make([]string, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = strings.ToLower(c)
+		}
+		return fmt.Sprintf("CREATE RANK INDEX ON %s (%s(%s))",
+			strings.ToLower(s.Table), strings.ToLower(s.Scorer), strings.Join(cols, ", "))
+	case *DropTableStmt:
+		return "DROP TABLE " + strings.ToLower(s.Name)
+	default:
+		return fmt.Sprintf("%T", st)
+	}
+}
+
+func normalizeSelect(s *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(s.Projection) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, c := range s.Projection {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strings.ToLower(c.String()))
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, tr := range s.Tables {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strings.ToLower(tr.Name))
+		if !strings.EqualFold(tr.Alias, tr.Name) {
+			b.WriteString(" AS ")
+			b.WriteString(strings.ToLower(tr.Alias))
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(renderExpr(s.Where))
+	}
+	writeOrderLimit(&b, s.Order, s.Limit, s.LimitParam)
+	return b.String()
+}
+
+func writeOrderLimit(b *strings.Builder, order []OrderTerm, limit, limitParam int) {
+	if len(order) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, t := range order {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			switch {
+			case t.Scorer != "":
+				if t.Weight != 1 {
+					fmt.Fprintf(b, "%g*", t.Weight)
+				}
+				args := make([]string, len(t.Args))
+				for j, a := range t.Args {
+					args[j] = strings.ToLower(a.String())
+				}
+				fmt.Fprintf(b, "%s(%s)", strings.ToLower(t.Scorer), strings.Join(args, ", "))
+			default:
+				if t.Weight != 1 {
+					fmt.Fprintf(b, "%g*", t.Weight)
+				}
+				b.WriteString(renderExpr(t.Expr))
+			}
+		}
+	}
+	switch {
+	case limitParam > 0:
+		b.WriteString(" LIMIT ?")
+	case limit > 0:
+		fmt.Fprintf(b, " LIMIT %d", limit)
+	}
+}
+
+// renderExpr renders an expression with lower-cased column identifiers;
+// literals (notably strings) keep their case.
+func renderExpr(e expr.Expr) string {
+	c := expr.Clone(e)
+	expr.Walk(c, func(n expr.Expr) {
+		if col, ok := n.(*expr.Col); ok {
+			col.Table = strings.ToLower(col.Table)
+			col.Name = strings.ToLower(col.Name)
+		}
+	})
+	return c.String()
+}
+
+// renderLiteral defers to Const.String so literal escaping (quote
+// doubling) has exactly one implementation that cache keys depend on.
+func renderLiteral(v types.Value) string {
+	return expr.NewConst(v).String()
+}
+
+// CountParams returns the number of `?` placeholders in a statement.
+func CountParams(st Stmt) int {
+	max := func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		n := expr.CountParams(s.Where)
+		for _, t := range s.Order {
+			n = max(n, expr.CountParams(t.Expr))
+		}
+		return max(n, s.LimitParam)
+	case *SetOpStmt:
+		n := max(CountParams(s.L), CountParams(s.R))
+		for _, t := range s.Order {
+			n = max(n, expr.CountParams(t.Expr))
+		}
+		return max(n, s.LimitParam)
+	case *InsertStmt:
+		n := 0
+		for _, p := range s.Params {
+			n = max(n, p.Index+1)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// BindParams returns a copy of the statement with every placeholder bound
+// to the corresponding value. The input statement is not modified, so a
+// prepared template can be bound concurrently with different values.
+func BindParams(st Stmt, vals []types.Value) (Stmt, error) {
+	if want := CountParams(st); len(vals) != want {
+		return nil, fmt.Errorf("sql: statement has %d parameter(s), %d value(s) bound", want, len(vals))
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		return bindSelect(s, vals)
+	case *SetOpStmt:
+		l, err := bindSelect(s.L, vals)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindSelect(s.R, vals)
+		if err != nil {
+			return nil, err
+		}
+		out := *s
+		out.L, out.R = l, r
+		if s.LimitParam > 0 {
+			k, err := LimitValue(vals, s.LimitParam)
+			if err != nil {
+				return nil, err
+			}
+			out.Limit, out.LimitParam = k, 0
+		}
+		return &out, nil
+	case *InsertStmt:
+		out := *s
+		out.Rows = make([][]types.Value, len(s.Rows))
+		for i, row := range s.Rows {
+			out.Rows[i] = append([]types.Value(nil), row...)
+		}
+		out.Params = nil
+		for _, p := range s.Params {
+			out.Rows[p.Row][p.Col] = vals[p.Index]
+		}
+		return &out, nil
+	default:
+		if len(vals) > 0 {
+			return nil, fmt.Errorf("sql: %T does not take parameters", st)
+		}
+		return st, nil
+	}
+}
+
+// bindSelect binds a SELECT against the full statement value list (indexes
+// are global across set-operation operands).
+func bindSelect(s *SelectStmt, vals []types.Value) (*SelectStmt, error) {
+	out := *s
+	if s.Where != nil {
+		w, err := expr.SubstParams(s.Where, vals)
+		if err != nil {
+			return nil, err
+		}
+		out.Where = w
+	}
+	if len(s.Order) > 0 {
+		out.Order = append([]OrderTerm(nil), s.Order...)
+		for i, t := range out.Order {
+			if t.Expr != nil {
+				e, err := expr.SubstParams(t.Expr, vals)
+				if err != nil {
+					return nil, err
+				}
+				out.Order[i].Expr = e
+			}
+		}
+	}
+	if s.LimitParam > 0 {
+		k, err := LimitValue(vals, s.LimitParam)
+		if err != nil {
+			return nil, err
+		}
+		out.Limit, out.LimitParam = k, 0
+	}
+	return &out, nil
+}
+
+// LimitValue extracts and validates a LIMIT bound from the 1-based
+// placeholder position. It is the single source of truth for what a
+// `LIMIT ?` binding accepts (the engine also uses it to resolve the
+// plan-cache key's k). Zero is rejected: the engine represents "no
+// LIMIT" as 0, so accepting it would silently turn a bounded top-k
+// request into a full result dump.
+func LimitValue(vals []types.Value, limitParam int) (int, error) {
+	v := vals[limitParam-1]
+	if v.Kind() != types.KindInt || v.Int() <= 0 {
+		return 0, fmt.Errorf("sql: LIMIT parameter must be a positive integer, got %s", v)
+	}
+	return int(v.Int()), nil
+}

@@ -1,0 +1,123 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"ranksql/internal/types"
+)
+
+func TestPlaceholderParsing(t *testing.T) {
+	st, err := Parse(`SELECT name FROM hotel WHERE price < ? AND stars >= ? ORDER BY cheap(price) LIMIT ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountParams(st); got != 3 {
+		t.Fatalf("CountParams = %d, want 3", got)
+	}
+	sel := st.(*SelectStmt)
+	if sel.LimitParam != 3 {
+		t.Fatalf("LimitParam = %d, want 3 (1-based)", sel.LimitParam)
+	}
+
+	ins, err := Parse(`INSERT INTO hotel VALUES (?, 10, ?), ('x', ?, 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountParams(ins); got != 3 {
+		t.Fatalf("insert CountParams = %d, want 3", got)
+	}
+	slots := ins.(*InsertStmt).Params
+	want := []ParamSlot{{0, 0, 0}, {0, 2, 1}, {1, 1, 2}}
+	for i, s := range slots {
+		if s != want[i] {
+			t.Errorf("slot %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestPlaceholderRejectedInOrderBy(t *testing.T) {
+	if _, err := Parse(`SELECT name FROM hotel ORDER BY price * ? LIMIT 3`); err == nil {
+		t.Fatal("placeholder in ranking expression should be rejected")
+	}
+}
+
+func TestNormalizeCanonicalizesTemplates(t *testing.T) {
+	variants := []string{
+		`SELECT Name FROM Hotel WHERE Price < ? ORDER BY cheap(Price) LIMIT ?`,
+		`select name  from hotel  where price < ?  order by CHEAP(price) limit ?`,
+		"select name from hotel where (price < ?) order by cheap(price) limit ?",
+	}
+	var norms []string
+	for _, v := range variants {
+		st, err := Parse(v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		norms = append(norms, Normalize(st))
+	}
+	for i := 1; i < len(norms); i++ {
+		if norms[i] != norms[0] {
+			t.Errorf("variant %d normalizes to %q, variant 0 to %q", i, norms[i], norms[0])
+		}
+	}
+	if !strings.Contains(norms[0], "LIMIT ?") {
+		t.Errorf("normalized form should keep the LIMIT placeholder: %q", norms[0])
+	}
+
+	// Different templates must not collide.
+	other, _ := Parse(`SELECT name FROM hotel WHERE price > ? ORDER BY cheap(price) LIMIT ?`)
+	if Normalize(other) == norms[0] {
+		t.Error("different comparison operators must normalize differently")
+	}
+}
+
+func TestNormalizeEscapesStringLiterals(t *testing.T) {
+	st, err := Parse(`SELECT name FROM hotel WHERE name = 'O''Brien' LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := Normalize(st)
+	if !strings.Contains(n, "'O''Brien'") {
+		t.Errorf("embedded quotes must be escaped in the normalized form: %q", n)
+	}
+}
+
+func TestBindParams(t *testing.T) {
+	st, err := Parse(`SELECT name FROM hotel WHERE price < ? LIMIT ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := BindParams(st, []types.Value{types.NewFloat(42), types.NewInt(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsel := bound.(*SelectStmt)
+	if bsel.Limit != 7 || bsel.LimitParam != 0 {
+		t.Fatalf("bound limit = %d/%d, want 7/0", bsel.Limit, bsel.LimitParam)
+	}
+	// The original template is untouched.
+	if sel := st.(*SelectStmt); sel.Limit != 0 || sel.LimitParam != 2 {
+		t.Fatalf("template mutated: %+v", sel)
+	}
+
+	if _, err := BindParams(st, []types.Value{types.NewFloat(42)}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	if _, err := BindParams(st, []types.Value{types.NewFloat(42), types.NewString("x")}); err == nil {
+		t.Error("non-integer LIMIT parameter should error")
+	}
+
+	ins, _ := Parse(`INSERT INTO hotel VALUES (?, ?)`)
+	bi, err := BindParams(ins, []types.Value{types.NewString("h"), types.NewInt(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := bi.(*InsertStmt).Rows[0]
+	if row[0].Str() != "h" || row[1].Int() != 9 {
+		t.Errorf("bound insert row = %v", row)
+	}
+	if !ins.(*InsertStmt).Rows[0][0].IsNull() {
+		t.Error("insert template mutated by binding")
+	}
+}

@@ -13,6 +13,16 @@ import (
 type parser struct {
 	toks []token
 	pos  int
+	// params counts `?` placeholders seen so far; placeholders are
+	// numbered positionally, left to right.
+	params int
+}
+
+// nextParam allocates the next positional placeholder index.
+func (p *parser) nextParam() int {
+	i := p.params
+	p.params++
+	return i
 }
 
 // Parse parses one SQL statement.
@@ -153,7 +163,7 @@ func (p *parser) parseSelectOrSetOp() (Stmt, error) {
 	default:
 		return left, nil
 	}
-	if len(left.Order) > 0 || left.Limit > 0 {
+	if len(left.Order) > 0 || left.Limit > 0 || left.LimitParam > 0 {
 		return nil, fmt.Errorf("sql: ORDER BY/LIMIT must follow the %s, not the first operand", kind)
 	}
 	right, err := p.parseSelect()
@@ -165,6 +175,7 @@ func (p *parser) parseSelectOrSetOp() (Stmt, error) {
 	// move them to the combined statement.
 	st.Order, right.Order = right.Order, nil
 	st.Limit, right.Limit = right.Limit, 0
+	st.LimitParam, right.LimitParam = right.LimitParam, 0
 	return st, nil
 }
 
@@ -225,6 +236,14 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Ranking expressions are compiled into the plan's scoring spec;
+		// a placeholder there would bake one execution's value into every
+		// cached reuse, so reject it up front.
+		for _, t := range terms {
+			if t.Expr != nil && expr.CountParams(t.Expr) > 0 {
+				return nil, fmt.Errorf("sql: parameters are not supported in ORDER BY ranking expressions")
+			}
+		}
 		st.Order = terms
 		if p.acceptKeyword("desc") {
 			// Descending is the ranking default: top-k by highest score.
@@ -233,14 +252,18 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 	}
 	if p.acceptKeyword("limit") {
-		if p.cur().kind != tokNumber {
-			return nil, fmt.Errorf("sql: LIMIT expects a number, got %q", p.cur().text)
+		if p.acceptPunct("?") {
+			st.LimitParam = p.nextParam() + 1
+		} else {
+			if p.cur().kind != tokNumber {
+				return nil, fmt.Errorf("sql: LIMIT expects a number or ?, got %q", p.cur().text)
+			}
+			n, err := strconv.Atoi(p.advance().text)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("sql: invalid LIMIT %v", err)
+			}
+			st.Limit = n
 		}
-		n, err := strconv.Atoi(p.advance().text)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("sql: invalid LIMIT %v", err)
-		}
-		st.Limit = n
 	}
 	return st, nil
 }
@@ -524,6 +547,9 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 	case t.kind == tokString:
 		p.advance()
 		return expr.NewConst(types.NewString(t.text)), nil
+	case t.kind == tokPunct && t.text == "?":
+		p.advance()
+		return expr.NewParam(p.nextParam()), nil
 	case t.kind == tokPunct && t.text == "(":
 		p.advance()
 		e, err := p.parseExpr()
@@ -687,11 +713,18 @@ func (p *parser) parseInsert() (Stmt, error) {
 		}
 		var row []types.Value
 		for {
-			v, err := p.parseLiteral()
-			if err != nil {
-				return nil, err
+			if p.acceptPunct("?") {
+				st.Params = append(st.Params, ParamSlot{
+					Row: len(st.Rows), Col: len(row), Index: p.nextParam(),
+				})
+				row = append(row, types.Null())
+			} else {
+				v, err := p.parseLiteral()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
 			}
-			row = append(row, v)
 			if p.acceptPunct(",") {
 				continue
 			}

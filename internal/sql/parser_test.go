@@ -103,7 +103,9 @@ func TestParseWhereExpr(t *testing.T) {
 		t.Fatalf("conjuncts = %d, want 4", len(conjs))
 	}
 	s := sel.Where.String()
-	for _, want := range []string{"NOT", "OR", "<=", "it's", "IS NOT NULL"} {
+	// String literals render with embedded quotes doubled (valid SQL),
+	// so the rendering is unambiguous for plan-cache keys.
+	for _, want := range []string{"NOT", "OR", "<=", "'it''s'", "IS NOT NULL"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("where %q missing %q", s, want)
 		}

@@ -25,9 +25,25 @@
 // scoring function is a sum of (optionally weighted) registered scorer
 // calls; larger scores rank first. Arbitrary arithmetic ORDER BY
 // expressions are supported as opaque ranking predicates.
+//
+// A DB is safe for concurrent use: queries run in parallel under a read
+// lock while DDL/DML statements serialize under a write lock. Repeated
+// query templates are served by an LRU plan cache keyed on (normalized
+// SQL, evaluated ranking predicates, k), so only the first execution of a
+// template pays for parsing and rank-aware optimization. Statements may
+// contain `?` placeholders (in WHERE, LIMIT and INSERT values) bound at
+// execution time:
+//
+//	stmt, _ := db.Prepare(`SELECT name FROM hotel WHERE price < ? ORDER BY cheap(price) LIMIT ?`)
+//	rows, _ := stmt.Query(150, 5)
+//
+// The ranksqld daemon (cmd/ranksqld, internal/server) exposes this API as
+// a concurrent HTTP/JSON query service.
 package ranksql
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ranksql/internal/engine"
@@ -120,11 +136,22 @@ type Rows struct {
 	Scores []float64
 	// Stats are the query's execution counters.
 	Stats Stats
-	// ExecTree renders the executed operator tree with per-operator
-	// output counts (EXPLAIN ANALYZE style).
-	ExecTree string
+	// CacheHit reports whether the query reused a cached compiled plan,
+	// skipping parse/bind/optimize.
+	CacheHit bool
 
-	pos int
+	execTree func() string
+	pos      int
+}
+
+// ExecTree renders the executed operator tree with per-operator output
+// counts (EXPLAIN ANALYZE style). The rendering is computed on demand, so
+// hot paths that never ask for it pay nothing.
+func (r *Rows) ExecTree() string {
+	if r.execTree == nil {
+		return ""
+	}
+	return r.execTree()
 }
 
 // Len returns the number of rows.
@@ -168,8 +195,10 @@ type Result struct {
 	Message      string
 }
 
-// DB is an embedded RankSQL database. A DB is not safe for concurrent use;
-// callers requiring concurrency should serialize access.
+// DB is an embedded RankSQL database, safe for concurrent use: queries
+// proceed in parallel, DDL/DML statements are serialized against them.
+// Configuration calls (RegisterScorer, SetTuning, SetSpin) are intended
+// for setup time.
 type DB struct {
 	eng *engine.DB
 }
@@ -220,13 +249,18 @@ func (db *DB) Query(sql string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	return wrapRows(rows), nil
+}
+
+func wrapRows(rows *engine.Rows) *Rows {
 	return &Rows{
 		Columns:  rows.Columns,
 		rows:     rows.Data,
 		Scores:   rows.Scores,
 		Stats:    convertStats(rows.Stats),
-		ExecTree: rows.ExecTree,
-	}, nil
+		execTree: rows.ExecTree,
+		CacheHit: rows.CacheHit,
+	}
 }
 
 // QueryScores is a convenience wrapper returning only the result scores.
@@ -253,7 +287,7 @@ func (db *DB) Tables() []string {
 // iterations per declared cost unit, so declared predicate cost becomes
 // real CPU time (useful for benchmarking; 0 disables).
 func (db *DB) SetSpin(iterationsPerCostUnit int) {
-	db.eng.SpinPerCostUnit = iterationsPerCostUnit
+	db.eng.SetSpin(iterationsPerCostUnit)
 }
 
 // Tuning exposes optimizer knobs.
@@ -286,7 +320,7 @@ func (db *DB) SetTuning(t Tuning) error {
 	if t.MinSampleRows > 0 {
 		opts.MinSampleRows = t.MinSampleRows
 	}
-	db.eng.Options = opts
+	db.eng.SetOptions(opts)
 	return nil
 }
 
@@ -311,4 +345,162 @@ func convertStats(s exec.Stats) Stats {
 		JoinProbes:    s.JoinProbes,
 		PeakBuffered:  s.PeakBuffered,
 	}
+}
+
+// Stmt is a prepared statement: parsed once, executable many times with
+// different `?` parameter bindings. A Stmt is immutable and safe for
+// concurrent use. Prepared SELECTs share the DB's plan cache, so repeated
+// executions (and identical templates prepared elsewhere) skip
+// optimization entirely.
+type Stmt struct {
+	p *engine.Prepared
+}
+
+// Prepare parses a statement template containing `?` placeholders.
+// Placeholders may appear in WHERE clauses, LIMIT bounds and INSERT
+// values; they are bound positionally by Query/Exec arguments.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	p, err := db.eng.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{p: p}, nil
+}
+
+// NumParams returns the number of `?` placeholders in the statement.
+func (s *Stmt) NumParams() int { return s.p.NumParams() }
+
+// Normalized returns the canonical template text — the statement
+// component of the plan-cache key.
+func (s *Stmt) Normalized() string { return s.p.Normalized() }
+
+// SQL returns the original statement text.
+func (s *Stmt) SQL() string { return s.p.SQL() }
+
+// IsQuery reports whether the statement returns rows.
+func (s *Stmt) IsQuery() bool { return s.p.IsQuery() }
+
+// Query executes a prepared SELECT with the given parameter values.
+// Supported argument types: nil, bool, int, int32, int64, float32,
+// float64, string and Value.
+func (s *Stmt) Query(args ...interface{}) (*Rows, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query with cancellation: when ctx is done, execution is
+// interrupted at the next cancellation point and ctx's error is returned.
+func (s *Stmt) QueryContext(ctx context.Context, args ...interface{}) (*Rows, error) {
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rows, err := s.p.QueryCancel(params, ctx.Done())
+	if err != nil {
+		if errors.Is(err, exec.ErrInterrupted) && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	return wrapRows(rows), nil
+}
+
+// Exec executes a prepared DDL/DML statement with the given parameters.
+func (s *Stmt) Exec(args ...interface{}) (*Result, error) {
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.p.Exec(params)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: res.RowsAffected, Message: res.Message}, nil
+}
+
+// QueryContext runs a (possibly parameterized) SELECT with cancellation.
+// It is one-shot sugar for Prepare + Stmt.QueryContext; repeated templates
+// still hit the plan cache.
+func (db *DB) QueryContext(ctx context.Context, sql string, args ...interface{}) (*Rows, error) {
+	stmt, err := db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.QueryContext(ctx, args...)
+}
+
+// ExecContext runs a (possibly parameterized) DDL/DML statement. The
+// context is checked before execution begins; DDL/DML itself is not
+// interruptible.
+func (db *DB) ExecContext(ctx context.Context, sql string, args ...interface{}) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stmt, err := db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Exec(args...)
+}
+
+// CacheStats is a snapshot of the plan cache's counters.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries, Capacity       int
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// PlanCacheStats snapshots the DB's plan-cache counters.
+func (db *DB) PlanCacheStats() CacheStats {
+	s := db.eng.Plans.Stats()
+	return CacheStats{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		Entries: s.Entries, Capacity: s.Capacity,
+	}
+}
+
+// SetPlanCacheCapacity resizes the plan cache; 0 disables caching.
+func (db *DB) SetPlanCacheCapacity(n int) { db.eng.Plans.Resize(n) }
+
+// toValues converts native Go arguments to engine values.
+func toValues(args []interface{}) ([]types.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]types.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil:
+			out[i] = types.Null()
+		case bool:
+			out[i] = types.NewBool(v)
+		case int:
+			out[i] = types.NewInt(int64(v))
+		case int32:
+			out[i] = types.NewInt(int64(v))
+		case int64:
+			out[i] = types.NewInt(v)
+		case float32:
+			out[i] = types.NewFloat(float64(v))
+		case float64:
+			out[i] = types.NewFloat(v)
+		case string:
+			out[i] = types.NewString(v)
+		case Value:
+			out[i] = v.v
+		default:
+			return nil, fmt.Errorf("ranksql: unsupported parameter type %T at position %d", a, i)
+		}
+	}
+	return out, nil
 }
