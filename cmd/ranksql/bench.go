@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ranksql"
+	"ranksql/internal/router"
 	"ranksql/internal/server"
 )
 
@@ -35,6 +36,8 @@ func runBench(args []string) {
 	requests := fs.Int("requests", 2000, "total query requests")
 	k := fs.Int("k", 10, "top-k bound per query")
 	writeEvery := fs.Int("write-every", 0, "per worker, issue an INSERT every N queries (0 = read-only)")
+	routerMode := fs.Bool("router", false, "drive a sharded cluster: self-host -shards in-process ranksqld shards behind a router (or treat -addr as a router)")
+	numShards := fs.Int("shards", 2, "shard count for the self-hosted router cluster")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -44,25 +47,31 @@ func runBench(args []string) {
 
 	base := *addr
 	if base == "" {
-		// Self-host a daemon on a loopback port.
-		db := ranksql.Open()
-		if err := server.Seed(db, *dataset, *rows); err != nil {
-			log.Fatalf("bench: seeding: %v", err)
-		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatalf("bench: listen: %v", err)
-		}
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
-		srv := server.New(db, server.WithLogger(func(string, ...interface{}) {}))
-		go func() {
-			if err := srv.ServeListener(ctx, ln); err != nil {
-				log.Fatalf("bench: server: %v", err)
+		if *routerMode {
+			base = selfHostCluster(ctx, *numShards, *dataset, *rows)
+			fmt.Printf("self-hosted router at %s over %d shards (%s, %d rows partitioned)\n",
+				base, *numShards, *dataset, *rows)
+		} else {
+			// Self-host a daemon on a loopback port.
+			db := ranksql.Open()
+			if err := server.Seed(db, *dataset, *rows); err != nil {
+				log.Fatalf("bench: seeding: %v", err)
 			}
-		}()
-		base = "http://" + ln.Addr().String()
-		fmt.Printf("self-hosted ranksqld at %s (%s, %d rows)\n", base, *dataset, *rows)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatalf("bench: listen: %v", err)
+			}
+			srv := server.New(db, server.WithLogger(func(string, ...interface{}) {}))
+			go func() {
+				if err := srv.ServeListener(ctx, ln); err != nil {
+					log.Fatalf("bench: server: %v", err)
+				}
+			}()
+			base = "http://" + ln.Addr().String()
+			fmt.Printf("self-hosted ranksqld at %s (%s, %d rows)\n", base, *dataset, *rows)
+		}
 	}
 
 	queryTemplate, insertTemplate, paramGen := benchWorkload(*dataset)
@@ -175,6 +184,24 @@ func runBench(args []string) {
 	fmt.Println("ranking    all responses correctly ordered, |rows| <= k")
 
 	// Server-side view.
+	if *routerMode {
+		var stats router.Snapshot
+		if err := getJSON(base+"/stats", &stats); err != nil {
+			log.Fatalf("bench: stats: %v", err)
+		}
+		fmt.Printf("\n== router /stats ==\n")
+		fmt.Printf("shards=%d queries=%d execs=%d errors=%d avg=%.2fms\n",
+			stats.Shards, stats.Queries, stats.Execs, stats.Errors, stats.AvgQueryMS)
+		fmt.Printf("threshold merge: %d/%d queries pruned >=1 shard (%d shard fetches skipped), refills=%d\n",
+			stats.QueriesWithPrunedShards, stats.Queries, stats.ShardsPrunedTotal, stats.RefillsTotal)
+		fmt.Printf("fetch amplification: %.2f rows fetched per row returned (%d/%d)\n",
+			stats.FetchAmplification, stats.RowsFetchedTotal, stats.RowsReturnedTotal)
+		for _, q := range stats.PerQuery {
+			fmt.Printf("  %6d× pruned=%d refills=%d avg=%.2fms  %s\n",
+				q.Count, q.ShardsPruned, q.Refills, q.AvgMS, truncate(q.Query, 80))
+		}
+		return
+	}
 	var stats server.Snapshot
 	if err := getJSON(base+"/stats", &stats); err != nil {
 		log.Fatalf("bench: stats: %v", err)
@@ -187,6 +214,69 @@ func runBench(args []string) {
 	for _, q := range stats.PerQuery {
 		fmt.Printf("  %6d× avg_depth_k=%.1f max_depth_k=%d avg=%.2fms  %s\n",
 			q.Count, q.AvgDepthK, q.MaxDepthK, q.AvgMS, truncate(q.Query, 80))
+	}
+}
+
+// selfHostCluster spins up n in-process ranksqld shards on loopback
+// ports, a router over them, and seeds the dataset through the router's
+// partitioned ingest, returning the router's base URL.
+func selfHostCluster(ctx context.Context, n int, dataset string, rows int) string {
+	quiet := func(string, ...interface{}) {}
+	var shardURLs []string
+	for i := 0; i < n; i++ {
+		db := ranksql.Open()
+		if err := server.RegisterScorers(db, dataset); err != nil {
+			log.Fatalf("bench: shard %d scorers: %v", i, err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("bench: shard %d listen: %v", i, err)
+		}
+		srv := server.New(db, server.WithLogger(quiet))
+		go func(i int) {
+			if err := srv.ServeListener(ctx, ln); err != nil {
+				log.Fatalf("bench: shard %d: %v", i, err)
+			}
+		}(i)
+		shardURLs = append(shardURLs, "http://"+ln.Addr().String())
+	}
+	rt, err := router.New(shardURLs, router.WithLogger(quiet))
+	if err != nil {
+		log.Fatalf("bench: router: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("bench: router listen: %v", err)
+	}
+	go func() {
+		if err := rt.ServeListener(ctx, ln); err != nil {
+			log.Fatalf("bench: router: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	waitHealthy(base)
+	if err := router.SeedVia(nil, base, dataset, rows); err != nil {
+		log.Fatalf("bench: seeding via router: %v", err)
+	}
+	return base
+}
+
+// waitHealthy polls /healthz until the service answers (the listeners
+// above are bound before their HTTP servers attach).
+func waitHealthy(base string) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("bench: %s did not become healthy within 5s", base)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -9,17 +9,33 @@
 //	    "params": [200, 5]}'
 //	$ curl -s localhost:7070/stats
 //
+// With -router it instead runs the sharding coordinator over a set of
+// ranksqld backends (see internal/router): tables are hash-partitioned
+// across the shards and top-k SELECTs are answered by a threshold-merge
+// over the shards' ranked streams.
+//
+//	$ go run ./cmd/ranksqld -addr :7171 -seed none -scorers webshop   # x2 shards
+//	$ go run ./cmd/ranksqld -addr :7172 -seed none -scorers webshop
+//	$ go run ./cmd/ranksqld -router -shards localhost:7171,localhost:7172 \
+//	      -addr :7070 -seed webshop -rows 20000
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"ranksql"
+	"ranksql/internal/router"
 	"ranksql/internal/server"
 )
 
@@ -28,7 +44,19 @@ func main() {
 	seed := flag.String("seed", "webshop", "example dataset to preload: webshop, tripplanner or none")
 	rows := flag.Int("rows", 20000, "seeded base-table row count")
 	cache := flag.Int("plan-cache", 0, "plan cache capacity (0 = engine default)")
+	scorers := flag.String("scorers", "", "register a dataset's scorers without seeding its data (comma-separated; for shard backends started with -seed none)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle-session expiry (0 = sessions never expire)")
+	routerMode := flag.Bool("router", false, "run as a sharding coordinator over -shards instead of an embedded engine")
+	shards := flag.String("shards", "", "comma-separated shard base URLs (router mode), e.g. host1:7070,host2:7070")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *routerMode {
+		runRouter(ctx, *addr, *shards, *seed, *rows)
+		return
+	}
 
 	db := ranksql.Open()
 	if *cache > 0 {
@@ -37,13 +65,87 @@ func main() {
 	if err := server.Seed(db, *seed, *rows); err != nil {
 		log.Fatalf("ranksqld: seeding %s: %v", *seed, err)
 	}
+	for _, ds := range strings.Split(*scorers, ",") {
+		ds = strings.TrimSpace(ds)
+		if ds == "" || strings.EqualFold(ds, *seed) { // seeding already registered them
+			continue
+		}
+		if err := server.RegisterScorers(db, ds); err != nil {
+			log.Fatalf("ranksqld: scorers %s: %v", ds, err)
+		}
+	}
 	if *seed != "none" && *seed != "" {
 		log.Printf("ranksqld: seeded %s dataset (%d rows), tables: %v", *seed, *rows, db.Tables())
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-	if err := server.New(db).Serve(ctx, *addr); err != nil {
+	var opts []server.Option
+	if *sessionTTL > 0 {
+		opts = append(opts, server.WithSessionTTL(*sessionTTL))
+	}
+	if err := server.New(db, opts...).Serve(ctx, *addr); err != nil {
 		log.Fatalf("ranksqld: %v", err)
 	}
+}
+
+// runRouter serves the sharding coordinator: partition-aware DDL/DML
+// fan-out plus threshold-merged top-k over the listed shard backends.
+// With -seed it loads the dataset through its own partitioned ingest
+// path once the listener is up (the shards receive only their rows).
+func runRouter(ctx context.Context, addr, shardList, seed string, rows int) {
+	var urls []string
+	for _, u := range strings.Split(shardList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	rt, err := router.New(urls)
+	if err != nil {
+		log.Fatalf("ranksqld: %v", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("ranksqld: %v", err)
+	}
+	if seed != "" && seed != "none" {
+		base := "http://" + ln.Addr().String()
+		if host, port, err := net.SplitHostPort(ln.Addr().String()); err == nil && (host == "::" || host == "0.0.0.0") {
+			base = "http://127.0.0.1:" + port
+		}
+		go func() {
+			// Wait for our own endpoint (and every shard behind it: the
+			// router's /healthz is 200 only when all shards answer) before
+			// ingesting through the front door. A failed seed leaves the
+			// router serving — the operator can re-run the load — rather
+			// than killing a healthy daemon from a goroutine.
+			if err := seedWhenHealthy(base, seed, rows); err != nil {
+				log.Printf("ranksqld-router: seeding %s failed: %v (are the shards up, with -scorers %s? re-seed via POST /exec + /load)", seed, err, seed)
+				return
+			}
+			log.Printf("ranksqld-router: seeded %s dataset (%d rows) across %d shards", seed, rows, rt.NumShards())
+		}()
+	}
+	if err := rt.ServeListener(ctx, ln); err != nil {
+		log.Fatalf("ranksqld: %v", err)
+	}
+}
+
+// seedWhenHealthy polls the router's /healthz (200 = router up and all
+// shards answering) for up to 15s, then loads the dataset through the
+// router's partitioned ingest.
+func seedWhenHealthy(base, seed string, rows int) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster not healthy within 15s")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return router.SeedVia(nil, base, seed, rows)
 }

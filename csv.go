@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"strconv"
-	"strings"
 
 	"ranksql/internal/types"
 )
@@ -43,7 +42,7 @@ func (db *DB) LoadCSV(table string, r io.Reader, header bool) (int, error) {
 		first = false
 		row := make([]types.Value, len(rec))
 		for i, cell := range rec {
-			v, err := convertCell(cell, sch.Columns[i].Kind)
+			v, err := types.ParseCell(cell, sch.Columns[i].Kind)
 			if err != nil {
 				return 0, fmt.Errorf("ranksql: csv row %d column %s: %w",
 					len(rows)+1, sch.Columns[i].Name, err)
@@ -53,36 +52,6 @@ func (db *DB) LoadCSV(table string, r io.Reader, header bool) (int, error) {
 		rows = append(rows, row)
 	}
 	return db.eng.BulkInsert(table, sch, rows)
-}
-
-// convertCell parses one CSV cell into the column's type.
-func convertCell(cell string, kind types.Kind) (types.Value, error) {
-	c := strings.TrimSpace(cell)
-	if c == "" || strings.EqualFold(c, "null") {
-		return types.Null(), nil
-	}
-	switch kind {
-	case types.KindInt:
-		n, err := strconv.ParseInt(c, 10, 64)
-		if err != nil {
-			return types.Null(), err
-		}
-		return types.NewInt(n), nil
-	case types.KindFloat:
-		f, err := strconv.ParseFloat(c, 64)
-		if err != nil {
-			return types.Null(), err
-		}
-		return types.NewFloat(f), nil
-	case types.KindBool:
-		b, err := strconv.ParseBool(strings.ToLower(c))
-		if err != nil {
-			return types.Null(), err
-		}
-		return types.NewBool(b), nil
-	default:
-		return types.NewString(cell), nil
-	}
 }
 
 // DumpCSV writes a query result as CSV (header row of column names, then

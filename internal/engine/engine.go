@@ -50,19 +50,37 @@ type DB struct {
 	// Plans caches compiled SELECT plans keyed on (normalized template,
 	// k, schema version); repeated query templates skip parse+optimize.
 	Plans *PlanCache
+	// StaleFactor is the row-count growth ratio past which a cached plan
+	// is considered stale and recompiled: a plan compiled when a table
+	// held R rows is discarded once the table exceeds StaleFactor*R rows
+	// (its cost estimates no longer describe the data). Values <= 1
+	// disable staleness checking. Default DefaultStaleFactor.
+	StaleFactor float64
 	// version is the schema version; DDL bumps it, invalidating every
 	// cached plan key minted under the old version.
 	version uint64
 }
 
+// DefaultStaleFactor is the default row-count growth ratio that
+// invalidates cached plans (2 = recompile after a table doubles).
+const DefaultStaleFactor = 2.0
+
 // New creates an empty database with default optimizer options.
 func New() *DB {
 	return &DB{
-		Catalog: catalog.New(),
-		scorers: map[string]Scorer{},
-		Options: optimizer.DefaultOptions(),
-		Plans:   NewPlanCache(DefaultPlanCacheCapacity),
+		Catalog:     catalog.New(),
+		scorers:     map[string]Scorer{},
+		Options:     optimizer.DefaultOptions(),
+		Plans:       NewPlanCache(DefaultPlanCacheCapacity),
+		StaleFactor: DefaultStaleFactor,
 	}
+}
+
+// SetStaleFactor reconfigures plan-staleness checking (<= 1 disables).
+func (db *DB) SetStaleFactor(f float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.StaleFactor = f
 }
 
 // SetOptions swaps the optimizer configuration and invalidates cached
@@ -142,7 +160,14 @@ type Rows struct {
 	// CacheHit reports whether the query reused a cached compiled plan
 	// (skipping parse, bind and optimization).
 	CacheHit bool
-	Columns  []string
+	// K is the effective top-k bound the query ran under (0 = no LIMIT).
+	K int
+	// Exhausted reports whether the ranked stream ran dry at or before
+	// depth len(Data): a distributed merge can treat this result as the
+	// shard's complete answer, while !Exhausted means asking again with a
+	// larger k could surface more rows. Always true when K is 0.
+	Exhausted bool
+	Columns   []string
 	// Data[i] is one output row.
 	Data [][]types.Value
 	// Scores[i] is the row's final score under the query's ranking

@@ -29,6 +29,10 @@ type CompiledPlan struct {
 	// HasParams records whether Plan contains placeholder conditions
 	// that must be bound per execution.
 	HasParams bool
+	// TableRows records each referenced table's row count at planning
+	// time (by lower-cased name), so a later execution can detect that
+	// the data has outgrown the plan's cost assumptions.
+	TableRows map[string]int
 }
 
 // planKey identifies a cached plan: the normalized statement text (which
@@ -44,7 +48,10 @@ type planKey struct {
 // CacheStats is a point-in-time snapshot of plan-cache counters.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
-	Entries, Capacity       int
+	// StaleRecompiles counts hits that were rejected because a referenced
+	// table grew past the staleness factor, forcing a recompile.
+	StaleRecompiles   uint64
+	Entries, Capacity int
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -65,6 +72,7 @@ type PlanCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	stale     uint64
 }
 
 type cacheEntry struct {
@@ -118,13 +126,22 @@ func (pc *PlanCache) Put(k planKey, cp *CompiledPlan) {
 	}
 }
 
+// noteStale counts a cache hit that was discarded because the plan's
+// cost assumptions went stale (row-count drift), forcing a recompile.
+func (pc *PlanCache) noteStale() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.stale++
+}
+
 // Stats snapshots the cache counters.
 func (pc *PlanCache) Stats() CacheStats {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	return CacheStats{
 		Hits: pc.hits, Misses: pc.misses, Evictions: pc.evictions,
-		Entries: pc.ll.Len(), Capacity: pc.cap,
+		StaleRecompiles: pc.stale,
+		Entries:         pc.ll.Len(), Capacity: pc.cap,
 	}
 }
 

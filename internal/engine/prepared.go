@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"ranksql/internal/exec"
@@ -148,12 +149,21 @@ func (db *DB) querySelect(sel *sql.SelectStmt, norm string, params []types.Value
 		}
 		pr.localMu.Unlock()
 	}
+	if cp != nil && db.planStale(cp) {
+		// A referenced table grew past the staleness factor since the plan
+		// was costed: its cardinality estimates (and possibly its operator
+		// choices) no longer reflect the data, so fall through to the miss
+		// path and recompile. Put/localPlan below overwrite the stale entry.
+		db.Plans.noteStale()
+		cp = nil
+	}
 	if cp != nil {
 		rows, err := db.runCompiled(cp, params, cancel)
 		if err != nil {
 			return nil, err
 		}
 		rows.CacheHit = true
+		finishRows(rows, k)
 		return rows, nil
 	}
 
@@ -175,7 +185,45 @@ func (db *DB) querySelect(sel *sql.SelectStmt, norm string, params []types.Value
 		pr.localPlan, pr.localVersion = cp, db.version
 		pr.localMu.Unlock()
 	}
-	return db.execOperator(cp, op, cancel)
+	rows, err := db.execOperator(cp, op, cancel)
+	if err != nil {
+		return nil, err
+	}
+	finishRows(rows, k)
+	return rows, nil
+}
+
+// finishRows annotates a materialized result with its effective top-k
+// bound and whether the ranked stream was exhausted at that depth. A
+// result shorter than k means the operators ran dry (no more matching
+// tuples exist); exactly k rows means deeper rows may exist.
+func finishRows(rows *Rows, k int) {
+	rows.K = k
+	rows.Exhausted = k == 0 || len(rows.Data) < k
+}
+
+// planStale reports whether a cached plan's cardinality assumptions are
+// out of date: some referenced table's current row count deviates from
+// its planning-time row count by more than the DB's staleness factor.
+// Callers hold db.mu (read side).
+func (db *DB) planStale(cp *CompiledPlan) bool {
+	f := db.StaleFactor
+	if f <= 1 || len(cp.TableRows) == 0 {
+		return false
+	}
+	for name, planned := range cp.TableRows {
+		tm, err := db.Catalog.Table(name)
+		if err != nil {
+			// Dropped tables bump the schema version, so this key can no
+			// longer be looked up; be conservative anyway.
+			return true
+		}
+		now := tm.Table.NumRows()
+		if float64(now) > float64(planned)*f || (planned == 0 && now > 0) {
+			return true
+		}
+	}
+	return false
 }
 
 // compileSelect binds and optimizes a SELECT (whose parameters are already
@@ -200,6 +248,12 @@ func (db *DB) compileSelect(sel *sql.SelectStmt) (*CompiledPlan, exec.Operator, 
 		Env:       res.Env,
 		Spec:      spec,
 		HasParams: res.Plan.HasParams(),
+		TableRows: map[string]int{},
+	}
+	for _, tr := range q.Tables {
+		if tm, err := db.Catalog.Table(tr.Name); err == nil {
+			cp.TableRows[strings.ToLower(tr.Name)] = tm.Table.NumRows()
+		}
 	}
 	if len(sel.Projection) > 0 {
 		idx := make([]int, len(sel.Projection))

@@ -70,6 +70,7 @@ func (db *DB) runSetOp(st *sql.SetOpStmt, cancel <-chan struct{}) (*Rows, error)
 		rows.Data = append(rows.Data, t.Values)
 		rows.Scores = append(rows.Scores, t.Score)
 	}
+	finishRows(rows, st.Limit)
 	return rows, nil
 }
 

@@ -1,0 +1,124 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// shardClient is the router's connection to one ranksqld backend. All
+// calls go through the shard's default session, which can neither be
+// closed nor expired, so router-prepared statements survive client
+// churn on the shard.
+type shardClient struct {
+	id   int
+	base string
+	http *http.Client
+}
+
+// shardQueryResponse decodes a shard's /query answer (the fields the
+// merge needs; see server.queryResponse).
+type shardQueryResponse struct {
+	Columns   []string        `json:"columns"`
+	Rows      [][]interface{} `json:"rows"`
+	Scores    []float64       `json:"scores"`
+	CacheHit  bool            `json:"cache_hit"`
+	K         int             `json:"k"`
+	Depth     int             `json:"depth"`
+	Exhausted bool            `json:"exhausted"`
+	Stats     queryStats      `json:"stats"`
+	Error     string          `json:"error"`
+}
+
+func (sc *shardClient) postJSON(path string, req interface{}, out interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := sc.http.Post(sc.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// prepare registers a statement in the shard's default session and
+// returns its id.
+func (sc *shardClient) prepare(sqlText string) (string, error) {
+	var out struct {
+		StmtID string `json:"stmt_id"`
+		Error  string `json:"error"`
+	}
+	if err := sc.postJSON("/prepare", map[string]interface{}{"sql": sqlText}, &out); err != nil {
+		return "", err
+	}
+	if out.Error != "" {
+		return "", fmt.Errorf("%s", out.Error)
+	}
+	return out.StmtID, nil
+}
+
+// query runs a SELECT (prepared or ad-hoc) on the shard.
+func (sc *shardClient) query(req *request) (*shardQueryResponse, error) {
+	var out shardQueryResponse
+	if err := sc.postJSON("/query", req, &out); err != nil {
+		return nil, err
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("%s", out.Error)
+	}
+	return &out, nil
+}
+
+// exec runs a DDL/DML statement on the shard.
+func (sc *shardClient) exec(sqlText string) (int, error) {
+	var out struct {
+		RowsAffected int    `json:"rows_affected"`
+		Error        string `json:"error"`
+	}
+	if err := sc.postJSON("/exec", map[string]interface{}{"sql": sqlText}, &out); err != nil {
+		return 0, err
+	}
+	if out.Error != "" {
+		return 0, fmt.Errorf("%s", out.Error)
+	}
+	return out.RowsAffected, nil
+}
+
+// load posts a CSV chunk to the shard's /load endpoint.
+func (sc *shardClient) load(table string, csvBody []byte) (int, error) {
+	resp, err := sc.http.Post(sc.base+"/load?table="+table, "text/csv", bytes.NewReader(csvBody))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		RowsLoaded int    `json:"rows_loaded"`
+		Error      string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	if out.Error != "" {
+		return 0, fmt.Errorf("%s", out.Error)
+	}
+	return out.RowsLoaded, nil
+}
+
+// probeClient bounds health probes independently of the query client's
+// timeout, so one hung shard cannot stall the router's /healthz and
+// /stats endpoints for the full query timeout.
+var probeClient = &http.Client{Timeout: 2 * time.Second}
+
+// healthy probes the shard's /healthz.
+func (sc *shardClient) healthy() bool {
+	resp, err := probeClient.Get(sc.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

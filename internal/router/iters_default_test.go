@@ -1,0 +1,11 @@
+//go:build !slowtests
+
+package router
+
+// Property-test iteration counts for the regular test run. The
+// slowtests build tag (CI's slow matrix entry: `go test -race -tags
+// slowtests ./...`) multiplies these in iters_slow_test.go.
+const (
+	equivalenceIters = 6
+	mergeIters       = 120
+)

@@ -1,0 +1,11 @@
+//go:build slowtests
+
+package router
+
+// High-iteration property-test configuration for CI's slow matrix entry
+// (`go test -race -tags slowtests ./...`): an order of magnitude more
+// randomized cases, still bounded enough for a CI lane.
+const (
+	equivalenceIters = 40
+	mergeIters       = 1500
+)

@@ -1,0 +1,248 @@
+package router
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Stream is one shard's ranked row stream. The rank-aware engine's core
+// contract — results arrive in non-increasing score order, cut off at
+// depth k — makes a stream's fetched prefix a certificate about its
+// tail: every unfetched row scores at most the last fetched score. The
+// threshold merge leans entirely on that bound.
+//
+// Fetch grows the fetched prefix to at least n rows (all remaining rows
+// when n <= 0 or when fewer than n exist) and returns the entire prefix
+// fetched so far as parallel row/score slices, plus whether the stream
+// is exhausted (no rows exist beyond the returned prefix). Fetch is
+// called from multiple goroutines for different streams but never
+// concurrently for one stream.
+type Stream interface {
+	Fetch(n int) (rows [][]interface{}, scores []float64, exhausted bool, err error)
+}
+
+// Merged is the result of a threshold top-k merge over shard streams.
+type Merged struct {
+	Rows   [][]interface{}
+	Scores []float64
+	// Origin[i] is the index of the stream that produced row i.
+	Origin []int
+	// Exhausted reports whether every stream ran dry before k rows were
+	// assembled (the merged result is the complete answer).
+	Exhausted bool
+	// Pruned lists streams cut off by the threshold bound: their tails
+	// were never fetched because the k-th result already dominated every
+	// score they could still produce.
+	Pruned []int
+	// Refills counts follow-up fetches beyond each stream's initial one.
+	Refills int
+}
+
+// cursor tracks the merge's view of one stream: the fetched prefix and
+// how much of it has been consumed.
+type cursor struct {
+	stream    Stream
+	rows      [][]interface{}
+	scores    []float64
+	pos       int
+	exhausted bool
+	fetched   bool
+	refills   int
+}
+
+// bound returns an upper bound on the score of the cursor's next
+// unconsumed row (known head, last fetched score for unfetched tails,
+// -Inf when dry).
+func (c *cursor) bound() float64 {
+	switch {
+	case c.pos < len(c.scores):
+		return c.scores[c.pos]
+	case c.exhausted:
+		return math.Inf(-1)
+	case len(c.scores) > 0:
+		return c.scores[len(c.scores)-1]
+	default:
+		return math.Inf(1)
+	}
+}
+
+// fetch grows the cursor's prefix to at least n rows, verifying the
+// shard honors the ranked contract (non-increasing scores, monotone
+// prefix growth) so a misbehaving backend surfaces as an error instead
+// of a silently wrong merge.
+func (c *cursor) fetch(n int) error {
+	prev := len(c.scores)
+	rows, scores, exhausted, err := c.stream.Fetch(n)
+	if err != nil {
+		return err
+	}
+	if len(rows) != len(scores) {
+		return fmt.Errorf("router: stream returned %d rows but %d scores", len(rows), len(scores))
+	}
+	if len(scores) < prev {
+		return fmt.Errorf("router: stream prefix shrank from %d to %d rows", prev, len(scores))
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i] > scores[i-1]+1e-9 {
+			return fmt.Errorf("router: stream scores increase at %d (%g > %g)", i, scores[i], scores[i-1])
+		}
+	}
+	if c.fetched && len(scores) == prev && !exhausted && (n <= 0 || n > prev) {
+		// No growth, no exhaustion: refilling again would loop forever.
+		return fmt.Errorf("router: stream made no progress past %d rows", prev)
+	}
+	c.rows, c.scores, c.exhausted = rows, scores, exhausted
+	if c.fetched {
+		c.refills++
+	}
+	c.fetched = true
+	return nil
+}
+
+// headHeap is a max-heap of buffered stream heads ordered by (score
+// desc, stream index asc). The index tie-break pins a deterministic
+// total order on equal scores regardless of fetch interleaving; within
+// one stream, rows are consumed in stream order, completing the
+// (score, stream, position) tie-break.
+type headHeap []headEntry
+
+type headEntry struct {
+	score float64
+	idx   int
+}
+
+func (h headHeap) Len() int { return len(h) }
+func (h headHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].idx < h[j].idx
+}
+func (h headHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *headHeap) Push(x interface{}) { *h = append(*h, x.(headEntry)) }
+func (h *headHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// beats reports whether a dormant stream (bound b, index bi) must be
+// drained before the current best buffered head (score s, index si) may
+// be emitted: its unseen rows could rank strictly earlier under the
+// (score desc, stream asc) order.
+func beats(b float64, bi int, s float64, si int) bool {
+	return b > s || (b == s && bi < si)
+}
+
+// MergeTopK runs a threshold-algorithm-style merge over ranked shard
+// streams: initial fetches of initialK rows per stream proceed in
+// parallel, then rows are drawn in globally non-increasing score order
+// via a max-heap. A stream whose fetched prefix is consumed is refilled
+// (prefix doubling) only while its score bound can still affect the
+// next output row; once the k-th result dominates a stream's bound, the
+// stream is pruned — its tail is never fetched. k <= 0 merges
+// everything (each stream is fetched fully up front).
+func MergeTopK(streams []Stream, k, initialK int) (*Merged, error) {
+	if len(streams) == 0 {
+		return &Merged{Exhausted: true}, nil
+	}
+	cursors := make([]*cursor, len(streams))
+	for i, s := range streams {
+		cursors[i] = &cursor{stream: s}
+	}
+
+	// Initial fetch, in parallel: shards compute their local top-k'
+	// concurrently, so the fan-out costs one shard round-trip, not N.
+	first := initialK
+	if k <= 0 {
+		first = 0 // fetch everything
+	} else if first <= 0 {
+		first = k
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(cursors))
+	for i, c := range cursors {
+		wg.Add(1)
+		go func(i int, c *cursor) {
+			defer wg.Done()
+			errs[i] = c.fetch(first)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Merged{}
+	h := &headHeap{}
+	for i, c := range cursors {
+		if c.pos < len(c.scores) {
+			heap.Push(h, headEntry{c.scores[c.pos], i})
+		}
+	}
+	for k <= 0 || len(out.Rows) < k {
+		// Refill any dormant stream whose bound could place a row ahead
+		// of the best buffered head (or any, when nothing is buffered).
+		for {
+			refill := -1
+			for i, c := range cursors {
+				if c.pos < len(c.scores) || c.exhausted {
+					continue
+				}
+				if h.Len() == 0 || beats(c.bound(), i, (*h)[0].score, (*h)[0].idx) {
+					refill = i
+					break
+				}
+			}
+			if refill < 0 {
+				break
+			}
+			c := cursors[refill]
+			want := 2 * len(c.scores)
+			if want < first {
+				want = first
+			}
+			if err := c.fetch(want); err != nil {
+				return nil, err
+			}
+			if c.pos < len(c.scores) {
+				heap.Push(h, headEntry{c.scores[c.pos], refill})
+			}
+		}
+		if h.Len() == 0 {
+			out.Exhausted = true
+			break
+		}
+		top := heap.Pop(h).(headEntry)
+		c := cursors[top.idx]
+		out.Rows = append(out.Rows, c.rows[c.pos])
+		out.Scores = append(out.Scores, c.scores[c.pos])
+		out.Origin = append(out.Origin, top.idx)
+		c.pos++
+		if c.pos < len(c.scores) {
+			heap.Push(h, headEntry{c.scores[c.pos], top.idx})
+		}
+	}
+
+	drained := true
+	for i, c := range cursors {
+		out.Refills += c.refills
+		if !c.exhausted {
+			// The merge ended while this stream still had unfetched rows:
+			// the threshold bound proved they cannot displace the result.
+			out.Pruned = append(out.Pruned, i)
+		}
+		if !c.exhausted || c.pos < len(c.scores) {
+			drained = false
+		}
+	}
+	if drained {
+		out.Exhausted = true
+	}
+	return out, nil
+}

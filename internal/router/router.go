@@ -1,0 +1,979 @@
+// Package router implements the ranksqld sharding coordinator: a daemon
+// speaking the same HTTP/JSON protocol as internal/server, but backed by
+// N ranksqld shards instead of an embedded engine.
+//
+// Tables are hash-partitioned across shards on a per-table partition key
+// (default: the first column; override with "partition_key" on CREATE
+// TABLE). DDL fans out to every shard; INSERT statements and CSV /load
+// bodies are split row-by-row on the partition key's hash. Top-k SELECTs
+// are answered by issuing the same prepared template to every shard with
+// a per-shard k and merging the returned ranked streams with a
+// threshold-algorithm-style max-heap merge (see merge.go): because every
+// shard's stream arrives in non-increasing score order with an
+// "exhausted at depth d" marker, the coordinator can stop — and skip
+// refetching entire shards — as soon as the k-th result dominates every
+// shard's remaining-score bound.
+//
+// Joins are correct when the joined tables are co-partitioned on the
+// join key (partition both tables by it); the router does not reshuffle
+// rows between shards.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ranksql/internal/sql"
+	"ranksql/internal/types"
+)
+
+// Router is the sharding coordinator.
+type Router struct {
+	shards  []*shardClient
+	logf    func(format string, args ...interface{})
+	metrics *metrics
+
+	mu        sync.Mutex
+	tables    map[string]*tableInfo
+	templates map[string]*template // by normalized statement text
+	stmts     map[string]*template // client-visible prepared statements
+	nextStmt  uint64
+}
+
+// tableInfo is the router's catalog entry for a partitioned table,
+// learned from the CREATE TABLE statements it forwards.
+type tableInfo struct {
+	name   string
+	cols   []string // lower-cased, in declaration order
+	kinds  []types.Kind
+	keyCol int // partition column index
+}
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithLogger replaces the router's log function (default log.Printf).
+func WithLogger(logf func(format string, args ...interface{})) Option {
+	return func(r *Router) { r.logf = logf }
+}
+
+// WithHTTPClient replaces the HTTP client used for shard calls (tests
+// and deployments with custom timeouts).
+func WithHTTPClient(c *http.Client) Option {
+	return func(r *Router) {
+		for _, sc := range r.shards {
+			sc.http = c
+		}
+	}
+}
+
+// New builds a Router over the given shard base URLs (http://host:port).
+func New(shardURLs []string, opts ...Option) (*Router, error) {
+	if len(shardURLs) == 0 {
+		return nil, fmt.Errorf("router: at least one shard URL is required")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	r := &Router{
+		logf:      log.Printf,
+		metrics:   newMetrics(),
+		tables:    map[string]*tableInfo{},
+		templates: map[string]*template{},
+		stmts:     map[string]*template{},
+	}
+	for i, u := range shardURLs {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("router: shard %d has an empty URL", i)
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		r.shards = append(r.shards, &shardClient{id: i, base: u, http: client})
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
+}
+
+// NumShards returns the number of backends.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Handler returns the HTTP handler serving the router's endpoints (the
+// same protocol as internal/server, so clients and the bench tool work
+// against either).
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/session", r.post(r.handleSessionOpen))
+	mux.HandleFunc("/session/close", r.post(r.handleSessionClose))
+	mux.HandleFunc("/prepare", r.post(r.handlePrepare))
+	mux.HandleFunc("/stmt/close", r.post(r.handleStmtClose))
+	mux.HandleFunc("/query", r.post(r.handleQuery))
+	mux.HandleFunc("/exec", r.post(r.handleExec))
+	mux.HandleFunc("/load", r.handleLoad)
+	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	return mux
+}
+
+// Serve listens on addr and serves until ctx is cancelled, then shuts
+// down gracefully (mirrors server.Serve).
+func (r *Router) Serve(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return r.ServeListener(ctx, ln)
+}
+
+// ServeListener is Serve over an existing listener (tests use :0).
+func (r *Router) ServeListener(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           r.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	r.logf("ranksqld-router: serving on %s over %d shards", ln.Addr(), len(r.shards))
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		r.logf("ranksqld-router: shut down")
+		return nil
+	case err := <-errc:
+		return err
+	}
+}
+
+// request is the shared request envelope (superset of the server's: the
+// router adds partition_key for CREATE TABLE).
+type request struct {
+	SQL          string        `json:"sql,omitempty"`
+	SessionID    string        `json:"session_id,omitempty"`
+	StmtID       string        `json:"stmt_id,omitempty"`
+	Params       []interface{} `json:"params,omitempty"`
+	PartitionKey string        `json:"partition_key,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (r *Router) post(h func(http.ResponseWriter, *http.Request, *request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, hr *http.Request) {
+		if hr.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+			return
+		}
+		var req request
+		dec := json.NewDecoder(hr.Body)
+		dec.UseNumber()
+		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+			return
+		}
+		h(w, hr, &req)
+	}
+}
+
+// The router is sessionless: prepared statements live in one shared
+// namespace (shards hold the real per-template state). /session is
+// accepted for client compatibility and returns a fixed id.
+func (r *Router) handleSessionOpen(w http.ResponseWriter, _ *http.Request, _ *request) {
+	writeJSON(w, http.StatusOK, map[string]string{"session_id": "router"})
+}
+
+func (r *Router) handleSessionClose(w http.ResponseWriter, _ *http.Request, _ *request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+}
+
+// template is a parsed statement the router can fan out: SELECTs carry a
+// selectTemplate with the shard-side fetch form; other statements are
+// replayed through the partitioning exec path.
+type template struct {
+	src       string
+	norm      string
+	numParams int
+	stmt      sql.Stmt
+	sel       *selectTemplate // non-nil for SELECT
+}
+
+// selectTemplate is the fan-out form of a top-k SELECT. The shard-side
+// statement always exposes the LIMIT as a trailing parameter so the
+// merge can refetch deeper prefixes (prefix doubling) without minting
+// new templates — every refill round hits the same normalized template
+// in each shard's plan cache.
+type selectTemplate struct {
+	fetchSQL   string
+	limitSlot  int // 1-based limit position in the shard param list; 0 = none
+	clientKPos int // 1-based LIMIT ? position in the client param list; 0 = literal/none
+	litK       int // literal client LIMIT (0 = none)
+	ranked     bool
+	// share marks templates worth preparing on the shards: cached
+	// parameterized templates and explicitly /prepare'd statements. A
+	// one-shot literal template goes ad-hoc — preparing it would leak a
+	// statement per request into each shard's default session.
+	share bool
+
+	mu         sync.Mutex
+	shardStmts []string // per-shard prepared statement ids; "" = not prepared
+}
+
+func (st *selectTemplate) shardStmt(i int) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.shardStmts[i]
+}
+
+func (st *selectTemplate) shareable() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.share
+}
+
+func (st *selectTemplate) setShardStmt(i int, id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.shardStmts[i] = id
+}
+
+// parseTemplate parses and canonicalizes a statement; SELECTs get their
+// shard fetch form built. Templates are cached by normalized text —
+// sql.Normalize is the single notion of template identity, shared with
+// the shards' plan caches.
+func (r *Router) parseTemplate(src string) (*template, error) {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := st.(*sql.SetOpStmt); ok {
+		return nil, fmt.Errorf("router: set-operation statements are not supported through the router (run them per shard)")
+	}
+	norm := sql.Normalize(st)
+	r.mu.Lock()
+	if t, ok := r.templates[norm]; ok {
+		r.mu.Unlock()
+		return t, nil
+	}
+	r.mu.Unlock()
+
+	t := &template{src: src, norm: norm, numParams: sql.CountParams(st), stmt: st}
+	if sel, ok := st.(*sql.SelectStmt); ok {
+		s := &selectTemplate{
+			ranked:     len(sel.Order) > 0,
+			share:      t.numParams > 0,
+			shardStmts: make([]string, len(r.shards)),
+		}
+		switch {
+		case sel.LimitParam > 0:
+			s.fetchSQL = norm
+			s.limitSlot = sel.LimitParam
+			s.clientKPos = sel.LimitParam
+		case sel.Limit > 0:
+			fetch := *sel
+			fetch.Limit = 0
+			fetch.LimitParam = t.numParams + 1
+			s.fetchSQL = sql.Normalize(&fetch)
+			s.limitSlot = t.numParams + 1
+			s.litK = sel.Limit
+		default:
+			s.fetchSQL = norm
+		}
+		t.sel = s
+	}
+	// Only parameterized templates enter the shared cache — mirroring the
+	// engine's plan-cache admission policy: a literal-only statement's
+	// normalized text embeds its literals, so ad-hoc one-off SQL would
+	// mint unbounded distinct entries. The cache is additionally capped;
+	// overflow drops it wholesale (templates reachable through r.stmts
+	// keep their shard statements — only re-prepare cost is lost).
+	if t.numParams == 0 {
+		return t, nil
+	}
+	r.mu.Lock()
+	if prior, ok := r.templates[norm]; ok {
+		t = prior // lost a race; keep the first (its shard stmts may exist)
+	} else {
+		if len(r.templates) >= maxTemplates {
+			r.templates = map[string]*template{}
+		}
+		r.templates[norm] = t
+	}
+	r.mu.Unlock()
+	return t, nil
+}
+
+func (r *Router) handlePrepare(w http.ResponseWriter, _ *http.Request, req *request) {
+	if strings.TrimSpace(req.SQL) == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"sql is required"})
+		return
+	}
+	t, err := r.parseTemplate(req.SQL)
+	if err != nil {
+		r.metrics.recordError("")
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if t.sel != nil {
+		// An explicit /prepare opts the template in to shard-side
+		// preparation even when literal-only: the client plans to reuse it.
+		t.sel.mu.Lock()
+		t.sel.share = true
+		t.sel.mu.Unlock()
+	}
+	r.mu.Lock()
+	r.nextStmt++
+	id := fmt.Sprintf("stmt-%d", r.nextStmt)
+	r.stmts[id] = t
+	r.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"session_id": "router",
+		"stmt_id":    id,
+		"num_params": t.numParams,
+		"is_query":   t.sel != nil,
+		"normalized": t.norm,
+	})
+}
+
+func (r *Router) handleStmtClose(w http.ResponseWriter, _ *http.Request, req *request) {
+	r.mu.Lock()
+	_, ok := r.stmts[req.StmtID]
+	delete(r.stmts, req.StmtID)
+	r.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no statement %q", req.StmtID)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+}
+
+func (r *Router) resolveTemplate(req *request) (*template, int, error) {
+	switch {
+	case req.StmtID != "":
+		r.mu.Lock()
+		t, ok := r.stmts[req.StmtID]
+		r.mu.Unlock()
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("no statement %q", req.StmtID)
+		}
+		return t, 0, nil
+	case strings.TrimSpace(req.SQL) != "":
+		t, err := r.parseTemplate(req.SQL)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		return t, 0, nil
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("either sql or stmt_id is required")
+	}
+}
+
+// queryStats mirrors the server's per-request counters, summed over
+// every shard fetch the merge issued.
+type queryStats struct {
+	TuplesScanned int64   `json:"tuples_scanned"`
+	PredEvals     int64   `json:"pred_evals"`
+	Comparisons   int64   `json:"comparisons"`
+	JoinProbes    int64   `json:"join_probes"`
+	PeakBuffered  int64   `json:"peak_buffered"`
+	PredCostUnits float64 `json:"pred_cost_units"`
+}
+
+func (s *queryStats) add(o queryStats) {
+	s.TuplesScanned += o.TuplesScanned
+	s.PredEvals += o.PredEvals
+	s.Comparisons += o.Comparisons
+	s.JoinProbes += o.JoinProbes
+	s.PeakBuffered += o.PeakBuffered
+	s.PredCostUnits += o.PredCostUnits
+}
+
+// mergeInfo is the router-specific block of a query response: what the
+// threshold merge did across the cluster.
+type mergeInfo struct {
+	Shards       int   `json:"shards"`
+	ShardsPruned []int `json:"shards_pruned"`
+	Refills      int   `json:"refills"`
+	RowsFetched  int   `json:"rows_fetched"`
+}
+
+type queryResponse struct {
+	Columns   []string        `json:"columns"`
+	Rows      [][]interface{} `json:"rows"`
+	Scores    []float64       `json:"scores"`
+	CacheHit  bool            `json:"cache_hit"`
+	K         int             `json:"k"`
+	Depth     int             `json:"depth"`
+	Exhausted bool            `json:"exhausted"`
+	Stats     queryStats      `json:"stats"`
+	Merge     mergeInfo       `json:"merge"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// perShardK picks the initial per-shard fetch depth for a client top-k:
+// an even split plus one row of slack. Skewed clusters refill (prefix
+// doubling); balanced ones answer in one round with ~k/N overfetch per
+// shard instead of k.
+func perShardK(k, nShards int) int {
+	if k <= 0 {
+		return 0
+	}
+	n := (k+nShards-1)/nShards + 1
+	if n > k {
+		n = k
+	}
+	return n
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, _ *http.Request, req *request) {
+	t, code, err := r.resolveTemplate(req)
+	if err != nil {
+		r.metrics.recordError("")
+		writeJSON(w, code, errorResponse{err.Error()})
+		return
+	}
+	if t.sel == nil {
+		r.metrics.recordError(t.norm)
+		writeJSON(w, http.StatusBadRequest, errorResponse{"statement is not a query; use /exec"})
+		return
+	}
+	if len(req.Params) != t.numParams {
+		r.metrics.recordError(t.norm)
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			fmt.Sprintf("statement has %d parameter(s), %d value(s) bound", t.numParams, len(req.Params))})
+		return
+	}
+	k := t.sel.litK
+	if t.sel.clientKPos > 0 {
+		k, err = paramInt(req.Params[t.sel.clientKPos-1])
+		if err != nil || k <= 0 {
+			r.metrics.recordError(t.norm)
+			writeJSON(w, http.StatusBadRequest, errorResponse{"LIMIT parameter must be a positive integer"})
+			return
+		}
+	}
+
+	streams := make([]Stream, len(r.shards))
+	hs := make([]*httpStream, len(r.shards))
+	for i, sc := range r.shards {
+		hs[i] = &httpStream{r: r, sc: sc, t: t, params: req.Params}
+		streams[i] = hs[i]
+	}
+	start := time.Now()
+	merged, err := MergeTopK(streams, k, perShardK(k, len(r.shards)))
+	if err != nil {
+		r.metrics.recordError(t.norm)
+		writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
+		return
+	}
+	elapsed := time.Since(start)
+
+	resp := queryResponse{
+		Rows:      merged.Rows,
+		Scores:    merged.Scores,
+		CacheHit:  true,
+		K:         k,
+		Depth:     len(merged.Rows),
+		Exhausted: merged.Exhausted,
+		Merge: mergeInfo{
+			Shards:       len(r.shards),
+			ShardsPruned: merged.Pruned,
+			Refills:      merged.Refills,
+		},
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	if resp.Rows == nil {
+		resp.Rows = [][]interface{}{}
+	}
+	if resp.Scores == nil {
+		resp.Scores = []float64{}
+	}
+	if resp.Merge.ShardsPruned == nil {
+		resp.Merge.ShardsPruned = []int{}
+	}
+	for _, s := range hs {
+		if resp.Columns == nil {
+			resp.Columns = s.columns
+		}
+		resp.CacheHit = resp.CacheHit && s.allCacheHit
+		resp.Stats.add(s.stats)
+		resp.Merge.RowsFetched += len(s.rows)
+	}
+	r.metrics.recordQuery(t.norm, elapsed, len(merged.Rows), resp.Merge.RowsFetched,
+		len(merged.Pruned), merged.Refills)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// httpStream adapts one shard's /query endpoint to the merge's Stream
+// interface. Refills re-issue the same prepared template with a deeper
+// limit and keep the (longer) prefix.
+type httpStream struct {
+	r      *Router
+	sc     *shardClient
+	t      *template
+	params []interface{}
+
+	rows        [][]interface{}
+	scores      []float64
+	columns     []string
+	exhausted   bool
+	fetched     bool
+	allCacheHit bool
+	stats       queryStats
+}
+
+func (s *httpStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
+	if s.fetched && (s.exhausted || (n > 0 && len(s.rows) >= n)) {
+		return s.rows, s.scores, s.exhausted, nil
+	}
+	params := s.params
+	if s.t.sel.limitSlot > 0 {
+		params = make([]interface{}, 0, len(s.params)+1)
+		params = append(params, s.params...)
+		if s.t.sel.limitSlot <= len(s.params) {
+			params[s.t.sel.limitSlot-1] = n
+		} else {
+			params = append(params, n)
+		}
+	}
+	resp, err := s.r.queryShard(s.sc, s.t, params)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.base, err)
+	}
+	s.rows, s.scores, s.exhausted = resp.Rows, resp.Scores, resp.Exhausted
+	s.columns = resp.Columns
+	if !s.fetched {
+		s.allCacheHit = true
+	}
+	s.allCacheHit = s.allCacheHit && resp.CacheHit
+	s.stats.add(resp.Stats)
+	s.fetched = true
+	return s.rows, s.scores, s.exhausted, nil
+}
+
+// stmtLost reports whether a shard error means the shard no longer
+// knows the prepared statement (restart, statement GC) — the only
+// condition under which re-running ad-hoc can succeed where the
+// prepared execution failed.
+func stmtLost(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "no statement") ||
+		strings.Contains(msg, "no session") ||
+		strings.Contains(msg, "expired")
+}
+
+// queryShard executes a fetch template on one shard, preparing it there
+// on first use (shareable templates only; one-shot literal SQL goes
+// ad-hoc). A prepared execution that fails because the shard lost its
+// statement state (restart) falls back to ad-hoc SQL; any other error —
+// deterministic engine failures included — is returned as-is rather
+// than paying a doomed second execution.
+func (r *Router) queryShard(sc *shardClient, t *template, params []interface{}) (*shardQueryResponse, error) {
+	id := t.sel.shardStmt(sc.id)
+	if id == "" && t.sel.shareable() {
+		if newID, err := sc.prepare(t.sel.fetchSQL); err == nil {
+			t.sel.setShardStmt(sc.id, newID)
+			id = newID
+		}
+	}
+	if id != "" {
+		resp, err := sc.query(&request{StmtID: id, Params: params})
+		if err == nil {
+			return resp, nil
+		}
+		if !stmtLost(err) {
+			return nil, err
+		}
+		t.sel.setShardStmt(sc.id, "")
+	}
+	return sc.query(&request{SQL: t.sel.fetchSQL, Params: params})
+}
+
+func (r *Router) handleExec(w http.ResponseWriter, _ *http.Request, req *request) {
+	t, code, err := r.resolveTemplate(req)
+	if err != nil {
+		r.metrics.recordError("")
+		writeJSON(w, code, errorResponse{err.Error()})
+		return
+	}
+	if t.sel != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"use /query for SELECT statements"})
+		return
+	}
+	vals, err := jsonToValues(req.Params)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	bound, err := sql.BindParams(t.stmt, vals)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+
+	var affected int
+	var message string
+	switch s := bound.(type) {
+	case *sql.InsertStmt:
+		affected, err = r.partitionInsert(s)
+		if err != nil {
+			r.metrics.recordError(t.norm)
+			writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
+			return
+		}
+	case *sql.CreateTableStmt:
+		if err := r.registerTable(s, req.PartitionKey); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+		if err := r.fanoutExec(sql.Normalize(bound), alreadyExists); err != nil {
+			r.unregisterTable(s.Name)
+			r.metrics.recordError(t.norm)
+			writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
+			return
+		}
+		message = "CREATE TABLE (all shards)"
+	case *sql.DropTableStmt:
+		if err := r.fanoutExec(sql.Normalize(bound), doesNotExist); err != nil {
+			r.metrics.recordError(t.norm)
+			writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
+			return
+		}
+		r.unregisterTable(s.Name)
+		message = "DROP TABLE (all shards)"
+	default:
+		// CREATE [RANK] INDEX and friends: idempotent on replay, like
+		// CREATE TABLE, so partially-applied DDL can be re-issued.
+		if err := r.fanoutExec(sql.Normalize(bound), alreadyExists); err != nil {
+			r.metrics.recordError(t.norm)
+			writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
+			return
+		}
+		message = "OK (all shards)"
+	}
+	r.metrics.recordExec()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"rows_affected": affected,
+		"message":       message,
+	})
+}
+
+// registerTable records a table's schema and partition key in the
+// router catalog.
+func (r *Router) registerTable(s *sql.CreateTableStmt, partitionKey string) error {
+	ti := &tableInfo{name: s.Name}
+	for _, c := range s.Columns {
+		ti.cols = append(ti.cols, strings.ToLower(c.Name))
+		ti.kinds = append(ti.kinds, c.Kind)
+	}
+	if partitionKey != "" {
+		ti.keyCol = -1
+		for i, c := range ti.cols {
+			if c == strings.ToLower(partitionKey) {
+				ti.keyCol = i
+			}
+		}
+		if ti.keyCol < 0 {
+			return fmt.Errorf("router: partition_key %q is not a column of %s", partitionKey, s.Name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tables[strings.ToLower(s.Name)]; ok {
+		return fmt.Errorf("router: table %q already exists", s.Name)
+	}
+	r.tables[strings.ToLower(s.Name)] = ti
+	return nil
+}
+
+func (r *Router) unregisterTable(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.tables, strings.ToLower(name))
+}
+
+func (r *Router) tableInfo(name string) (*tableInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ti, ok := r.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("router: unknown table %q (create it through the router so it learns the partitioning)", name)
+	}
+	return ti, nil
+}
+
+// partition maps a partition-key value to a shard index. types.Value
+// hashing is deterministic (FNV over the canonical encoding), so every
+// ingest path — INSERT literals, bound parameters, CSV cells — lands a
+// given key on the same shard.
+func partition(v types.Value, nShards int) int {
+	return int(v.Hash() % uint64(nShards))
+}
+
+// partitionInsert splits a bound INSERT's rows by partition key and
+// sends each shard its subset (in parallel) as a literal INSERT.
+func (r *Router) partitionInsert(s *sql.InsertStmt) (int, error) {
+	ti, err := r.tableInfo(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	groups := make([][][]types.Value, len(r.shards))
+	for _, row := range s.Rows {
+		if ti.keyCol >= len(row) {
+			return 0, fmt.Errorf("router: row has %d column(s), partition key is column %d", len(row), ti.keyCol+1)
+		}
+		g := partition(row[ti.keyCol], len(r.shards))
+		groups[g] = append(groups[g], row)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(r.shards))
+	counts := make([]int, len(r.shards))
+	for i, sc := range r.shards {
+		if len(groups[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sc *shardClient) {
+			defer wg.Done()
+			ins := &sql.InsertStmt{Table: s.Table, Rows: groups[i]}
+			counts[i], errs[i] = sc.exec(sql.Normalize(ins))
+		}(i, sc)
+	}
+	wg.Wait()
+	total := 0
+	for i := range r.shards {
+		if errs[i] != nil {
+			return total, fmt.Errorf("shard %d (%s): %w", i, r.shards[i].base, errs[i])
+		}
+		total += counts[i]
+	}
+	return total, nil
+}
+
+// fanoutExec runs a statement on every shard in parallel, failing if any
+// shard fails (shards may then diverge; see the README's failure notes).
+// A non-nil tolerate func marks per-shard errors that mean the statement
+// had already taken effect there (e.g. "already exists" on a re-issued
+// CREATE TABLE), so replaying DDL after a partial failure converges the
+// divergent shards instead of wedging on the ones that succeeded.
+func (r *Router) fanoutExec(sqlText string, tolerate func(error) bool) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(r.shards))
+	for i, sc := range r.shards {
+		wg.Add(1)
+		go func(i int, sc *shardClient) {
+			defer wg.Done()
+			_, errs[i] = sc.exec(sqlText)
+		}(i, sc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && (tolerate == nil || !tolerate(err)) {
+			return fmt.Errorf("shard %d (%s): %w", i, r.shards[i].base, err)
+		}
+	}
+	return nil
+}
+
+func alreadyExists(err error) bool { return strings.Contains(err.Error(), "already exists") }
+func doesNotExist(err error) bool  { return strings.Contains(err.Error(), "does not exist") }
+
+// handleLoad is POST /load?table=t[&header=1]: the CSV body is split
+// row-by-row on the partition key and forwarded to each shard's /load.
+func (r *Router) handleLoad(w http.ResponseWriter, hr *http.Request) {
+	if hr.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	table := hr.URL.Query().Get("table")
+	if table == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"table query parameter is required"})
+		return
+	}
+	ti, err := r.tableInfo(table)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	// Same convention as the server's /load: only recognized true values
+	// ("1", "t", "true", any case) skip a header row.
+	header, _ := strconv.ParseBool(hr.URL.Query().Get("header"))
+	cr := csv.NewReader(hr.Body)
+	cr.FieldsPerRecord = len(ti.cols)
+	bufs := make([]bytes.Buffer, len(r.shards))
+	writers := make([]*csv.Writer, len(r.shards))
+	for i := range writers {
+		writers[i] = csv.NewWriter(&bufs[i])
+	}
+	first := true
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("csv row %d: %v", n+1, err)})
+			return
+		}
+		if first && header {
+			first = false
+			continue
+		}
+		first = false
+		key, err := types.ParseCell(rec[ti.keyCol], ti.kinds[ti.keyCol])
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				fmt.Sprintf("csv row %d: partition key %q: %v", n+1, rec[ti.keyCol], err)})
+			return
+		}
+		g := partition(key, len(r.shards))
+		if err := writers[g].Write(rec); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			return
+		}
+		n++
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(r.shards))
+	counts := make([]int, len(r.shards))
+	for i, sc := range r.shards {
+		writers[i].Flush()
+		if bufs[i].Len() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sc *shardClient) {
+			defer wg.Done()
+			counts[i], errs[i] = sc.load(table, bufs[i].Bytes())
+		}(i, sc)
+	}
+	wg.Wait()
+	total := 0
+	for i := range r.shards {
+		if errs[i] != nil {
+			r.metrics.recordError("")
+			writeJSON(w, http.StatusBadGateway, errorResponse{
+				fmt.Sprintf("shard %d (%s): %v", i, r.shards[i].base, errs[i])})
+			return
+		}
+		total += counts[i]
+	}
+	r.metrics.recordLoad()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"rows_loaded": total})
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, hr *http.Request) {
+	if hr.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	snap := r.metrics.snapshot()
+	snap.Shards = len(r.shards)
+	snap.ShardHealth = r.probeShards()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	health := r.probeShards()
+	allUp := true
+	for _, h := range health {
+		allUp = allUp && h.Healthy
+	}
+	code := http.StatusOK
+	status := "ok"
+	if !allUp {
+		code = http.StatusServiceUnavailable
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]interface{}{"status": status, "shards": health})
+}
+
+func (r *Router) probeShards() []ShardStatus {
+	out := make([]ShardStatus, len(r.shards))
+	var wg sync.WaitGroup
+	for i, sc := range r.shards {
+		wg.Add(1)
+		go func(i int, sc *shardClient) {
+			defer wg.Done()
+			out[i] = ShardStatus{ID: sc.id, Base: sc.base, Healthy: sc.healthy()}
+		}(i, sc)
+	}
+	wg.Wait()
+	return out
+}
+
+// paramInt reads an integer request parameter (JSON numbers decode as
+// json.Number under UseNumber).
+func paramInt(p interface{}) (int, error) {
+	switch v := p.(type) {
+	case json.Number:
+		n, err := v.Int64()
+		return int(n), err
+	case float64:
+		return int(v), nil
+	case int:
+		return v, nil
+	default:
+		return 0, fmt.Errorf("router: expected an integer, got %T", p)
+	}
+}
+
+// jsonToValues converts decoded JSON parameters to engine values
+// (integral numbers bind as INT, fractional as FLOAT — the server's
+// binding convention).
+func jsonToValues(params []interface{}) ([]types.Value, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	out := make([]types.Value, len(params))
+	for i, p := range params {
+		switch v := p.(type) {
+		case nil:
+			out[i] = types.Null()
+		case bool:
+			out[i] = types.NewBool(v)
+		case string:
+			out[i] = types.NewString(v)
+		case json.Number:
+			if !strings.ContainsAny(v.String(), ".eE") {
+				n, err := v.Int64()
+				if err != nil {
+					return nil, fmt.Errorf("param %d: %v", i, err)
+				}
+				out[i] = types.NewInt(n)
+				continue
+			}
+			f, err := v.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("param %d: %v", i, err)
+			}
+			out[i] = types.NewFloat(f)
+		default:
+			return nil, fmt.Errorf("param %d: unsupported JSON type %T (use scalars)", i, p)
+		}
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,183 @@
+package router
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxTemplates bounds the per-template metrics map (ad-hoc literal SQL
+// mints unbounded distinct templates); overflow aggregates in one bucket.
+const (
+	maxTemplates     = 512
+	overflowTemplate = "(other templates)"
+)
+
+// metrics aggregates router-wide and per-template merge counters.
+type metrics struct {
+	mu      sync.Mutex
+	started time.Time
+
+	queries uint64
+	execs   uint64
+	loads   uint64
+	errors  uint64
+
+	querySum time.Duration
+
+	// Threshold-merge effectiveness counters.
+	queriesWithPruned uint64
+	shardsPruned      uint64
+	refills           uint64
+	rowsFetched       uint64
+	rowsReturned      uint64
+
+	perQuery map[string]*templateMetrics
+}
+
+// templateMetrics aggregates merges of one normalized query template.
+type templateMetrics struct {
+	Count        uint64  `json:"count"`
+	Errors       uint64  `json:"errors"`
+	RowsReturned uint64  `json:"rows_returned"`
+	RowsFetched  uint64  `json:"rows_fetched_from_shards"`
+	ShardsPruned uint64  `json:"shards_pruned"`
+	Refills      uint64  `json:"refills"`
+	AvgMS        float64 `json:"avg_latency_ms"`
+
+	totalMS float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{started: time.Now(), perQuery: map[string]*templateMetrics{}}
+}
+
+// recordQuery aggregates one merged top-k query.
+func (m *metrics) recordQuery(norm string, d time.Duration, returned, fetched, pruned, refills int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	m.querySum += d
+	if pruned > 0 {
+		m.queriesWithPruned++
+	}
+	m.shardsPruned += uint64(pruned)
+	m.refills += uint64(refills)
+	m.rowsFetched += uint64(fetched)
+	m.rowsReturned += uint64(returned)
+	t := m.templateLocked(norm)
+	t.Count++
+	t.RowsReturned += uint64(returned)
+	t.RowsFetched += uint64(fetched)
+	t.ShardsPruned += uint64(pruned)
+	t.Refills += uint64(refills)
+	t.totalMS += float64(d) / float64(time.Millisecond)
+}
+
+func (m *metrics) recordExec() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.execs++
+}
+
+func (m *metrics) recordLoad() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loads++
+}
+
+func (m *metrics) recordError(norm string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.errors++
+	if norm != "" {
+		m.templateLocked(norm).Errors++
+	}
+}
+
+func (m *metrics) templateLocked(norm string) *templateMetrics {
+	t := m.perQuery[norm]
+	if t == nil {
+		if len(m.perQuery) >= maxTemplates {
+			norm = overflowTemplate
+			if t = m.perQuery[norm]; t != nil {
+				return t
+			}
+		}
+		t = &templateMetrics{}
+		m.perQuery[norm] = t
+	}
+	return t
+}
+
+// TemplateStats is one per-template row of the router /stats payload.
+type TemplateStats struct {
+	Query string `json:"query"`
+	templateMetrics
+}
+
+// ShardStatus describes one backend in the /stats payload.
+type ShardStatus struct {
+	ID      int    `json:"id"`
+	Base    string `json:"base_url"`
+	Healthy bool   `json:"healthy"`
+}
+
+// Snapshot is the router's /stats payload.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Shards        int     `json:"shards"`
+	Queries       uint64  `json:"queries"`
+	Execs         uint64  `json:"execs"`
+	Loads         uint64  `json:"loads"`
+	Errors        uint64  `json:"errors"`
+	AvgQueryMS    float64 `json:"avg_query_ms"`
+
+	// Threshold-merge effectiveness: how often the per-shard bound let
+	// the router skip draining shards, and how much it over-fetched.
+	QueriesWithPrunedShards uint64 `json:"queries_with_pruned_shards"`
+	ShardsPrunedTotal       uint64 `json:"shards_pruned_total"`
+	RefillsTotal            uint64 `json:"refills_total"`
+	RowsFetchedTotal        uint64 `json:"rows_fetched_total"`
+	RowsReturnedTotal       uint64 `json:"rows_returned_total"`
+	// FetchAmplification is rows fetched from shards per row returned
+	// (1.0 would be a perfect oracle; lower overfetch is better).
+	FetchAmplification float64 `json:"fetch_amplification"`
+
+	PerQuery    []TemplateStats `json:"per_query"`
+	ShardHealth []ShardStatus   `json:"shard_health"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Snapshot{
+		UptimeSeconds:           time.Since(m.started).Seconds(),
+		Queries:                 m.queries,
+		Execs:                   m.execs,
+		Loads:                   m.loads,
+		Errors:                  m.errors,
+		QueriesWithPrunedShards: m.queriesWithPruned,
+		ShardsPrunedTotal:       m.shardsPruned,
+		RefillsTotal:            m.refills,
+		RowsFetchedTotal:        m.rowsFetched,
+		RowsReturnedTotal:       m.rowsReturned,
+	}
+	if m.queries > 0 {
+		snap.AvgQueryMS = float64(m.querySum) / float64(time.Millisecond) / float64(m.queries)
+	}
+	if m.rowsReturned > 0 {
+		snap.FetchAmplification = float64(m.rowsFetched) / float64(m.rowsReturned)
+	}
+	for norm, t := range m.perQuery {
+		row := TemplateStats{Query: norm, templateMetrics: *t}
+		if t.Count > 0 {
+			row.AvgMS = t.totalMS / float64(t.Count)
+		}
+		snap.PerQuery = append(snap.PerQuery, row)
+	}
+	sort.Slice(snap.PerQuery, func(i, j int) bool {
+		return snap.PerQuery[i].Count > snap.PerQuery[j].Count
+	})
+	return snap
+}

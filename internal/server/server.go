@@ -15,8 +15,9 @@
 //	POST /session/close  {session_id}                      -> {closed}
 //	POST /prepare        {sql, session_id?}                -> {stmt_id, num_params, is_query, normalized}
 //	POST /stmt/close     {stmt_id, session_id?}            -> {closed}
-//	POST /query          {sql | stmt_id [+session_id], params?} -> {columns, rows, scores, cache_hit, stats, elapsed_ms}
+//	POST /query          {sql | stmt_id [+session_id], params?} -> {columns, rows, scores, k, depth, exhausted, cache_hit, stats, elapsed_ms}
 //	POST /exec           {sql | stmt_id [+session_id], params?} -> {rows_affected, message}
+//	POST /load?table=t&header=0|1  (CSV body)              -> {rows_loaded}
 //	GET  /stats                                            -> Snapshot
 //	GET  /healthz                                          -> {status: "ok"}
 //
@@ -33,6 +34,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,6 +55,14 @@ type Option func(*Server)
 // WithLogger replaces the server's log function (default log.Printf).
 func WithLogger(logf func(format string, args ...interface{})) Option {
 	return func(s *Server) { s.logf = logf }
+}
+
+// WithSessionTTL enables idle-session garbage collection: a session
+// untouched for longer than ttl is closed (its prepared statements are
+// released), and later requests naming it get a clean "expired" error.
+// The default session is never collected. ttl <= 0 disables expiry.
+func WithSessionTTL(ttl time.Duration) Option {
+	return func(s *Server) { s.sessions.ttl = ttl }
 }
 
 // New builds a Server over an opened database. The caller seeds the
@@ -82,6 +92,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stmt/close", s.post(s.handleStmtClose))
 	mux.HandleFunc("/query", s.post(s.handleQuery))
 	mux.HandleFunc("/exec", s.post(s.handleExec))
+	mux.HandleFunc("/load", s.handleLoad)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -171,9 +182,9 @@ func (s *Server) handlePrepare(w http.ResponseWriter, _ *http.Request, req *requ
 		writeJSON(w, http.StatusBadRequest, errorResponse{"sql is required"})
 		return
 	}
-	sess, ok := s.sessions.get(req.SessionID)
-	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no session %q", req.SessionID)})
+	sess, err := s.sessions.get(req.SessionID)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
 		return
 	}
 	stmt, err := s.db.Prepare(req.SQL)
@@ -197,9 +208,9 @@ func (s *Server) handlePrepare(w http.ResponseWriter, _ *http.Request, req *requ
 }
 
 func (s *Server) handleStmtClose(w http.ResponseWriter, _ *http.Request, req *request) {
-	sess, ok := s.sessions.get(req.SessionID)
-	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no session %q", req.SessionID)})
+	sess, err := s.sessions.get(req.SessionID)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
 		return
 	}
 	if !sess.closeStmt(req.StmtID) {
@@ -214,9 +225,9 @@ func (s *Server) handleStmtClose(w http.ResponseWriter, _ *http.Request, req *re
 func (s *Server) resolveStmt(req *request) (*ranksql.Stmt, int, error) {
 	switch {
 	case req.StmtID != "":
-		sess, ok := s.sessions.get(req.SessionID)
-		if !ok {
-			return nil, http.StatusNotFound, fmt.Errorf("no session %q", req.SessionID)
+		sess, err := s.sessions.get(req.SessionID)
+		if err != nil {
+			return nil, http.StatusNotFound, err
 		}
 		stmt, ok := sess.stmt(req.StmtID)
 		if !ok {
@@ -245,12 +256,21 @@ type queryStats struct {
 }
 
 type queryResponse struct {
-	Columns   []string        `json:"columns"`
-	Rows      [][]interface{} `json:"rows"`
-	Scores    []float64       `json:"scores"`
-	CacheHit  bool            `json:"cache_hit"`
-	Stats     queryStats      `json:"stats"`
-	ElapsedMS float64         `json:"elapsed_ms"`
+	Columns  []string        `json:"columns"`
+	Rows     [][]interface{} `json:"rows"`
+	Scores   []float64       `json:"scores"`
+	CacheHit bool            `json:"cache_hit"`
+	// K is the effective top-k bound the query ran under (0 = no LIMIT).
+	K int `json:"k"`
+	// Depth is the number of ranked rows produced (== len(rows)).
+	Depth int `json:"depth"`
+	// Exhausted marks that the ranked stream ran dry at depth Depth: no
+	// rows exist beyond the returned ones. When false the stream was cut
+	// off by LIMIT, and a larger k could surface more rows — the signal a
+	// sharded coordinator uses to bound this shard's remaining scores.
+	Exhausted bool       `json:"exhausted"`
+	Stats     queryStats `json:"stats"`
+	ElapsedMS float64    `json:"elapsed_ms"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *request) {
@@ -282,10 +302,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 	s.metrics.recordQuery(stmt.Normalized(), elapsed, rows.Len(), rows.Stats.TuplesScanned, rows.CacheHit)
 
 	resp := queryResponse{
-		Columns:  rows.Columns,
-		Rows:     make([][]interface{}, 0, rows.Len()),
-		Scores:   rows.Scores,
-		CacheHit: rows.CacheHit,
+		Columns:   rows.Columns,
+		Rows:      make([][]interface{}, 0, rows.Len()),
+		Scores:    rows.Scores,
+		CacheHit:  rows.CacheHit,
+		K:         rows.K,
+		Depth:     rows.Len(),
+		Exhausted: rows.Exhausted,
 		Stats: queryStats{
 			TuplesScanned: rows.Stats.TuplesScanned,
 			PredEvals:     rows.Stats.PredEvals,
@@ -336,6 +359,33 @@ func (s *Server) handleExec(w http.ResponseWriter, _ *http.Request, req *request
 	})
 }
 
+// handleLoad is POST /load?table=t[&header=1]: the request body is CSV,
+// bulk-loaded into an existing table (see ranksql.LoadCSV). It is the
+// ingest path a sharded router fans partitioned row sets through.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"table query parameter is required"})
+		return
+	}
+	// strconv.ParseBool accepts 1/t/true/0/f/false in any case; anything
+	// unrecognized (or absent) means no header row rather than silently
+	// swallowing the first data row.
+	header, _ := strconv.ParseBool(r.URL.Query().Get("header"))
+	n, err := s.db.LoadCSV(table, r.Body, header)
+	if err != nil {
+		s.metrics.recordError("")
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	s.metrics.recordExec()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"rows_loaded": n})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
@@ -345,9 +395,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.db.PlanCacheStats()
 	snap.PlanCache = CacheSnapshot{
 		Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
-		Entries: cs.Entries, Capacity: cs.Capacity, HitRate: cs.HitRate(),
+		StaleRecompiles: cs.StaleRecompiles,
+		Entries:         cs.Entries, Capacity: cs.Capacity, HitRate: cs.HitRate(),
 	}
 	snap.Sessions = s.sessions.count()
+	snap.SessionsExpired = s.sessions.expiredCount()
 	snap.TablesServed = s.db.Tables()
 	writeJSON(w, http.StatusOK, snap)
 }

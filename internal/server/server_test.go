@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -389,5 +390,110 @@ func TestServerGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// TestSessionExpiryGC covers the idle-session TTL: an expired session's
+// prepared handles are rejected with a clean "expired" error (not a
+// panic, and distinct from "unknown session"), the default session is
+// exempt, and /stats counts the collection.
+func TestSessionExpiryGC(t *testing.T) {
+	db := ranksql.Open()
+	if err := SeedWebshop(db, 200); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, WithLogger(discardLog), WithSessionTTL(time.Minute))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var sess struct {
+		SessionID string `json:"session_id"`
+		Error     string `json:"error"`
+	}
+	postJSON(t, ts.URL+"/session", map[string]interface{}{}, &sess)
+	if sess.Error != "" || sess.SessionID == "" {
+		t.Fatalf("session open: %+v", sess)
+	}
+	var prep struct {
+		StmtID string `json:"stmt_id"`
+		Error  string `json:"error"`
+	}
+	postJSON(t, ts.URL+"/prepare",
+		map[string]interface{}{"session_id": sess.SessionID, "sql": testQuerySQL}, &prep)
+	if prep.Error != "" {
+		t.Fatalf("prepare: %s", prep.Error)
+	}
+	// A default-session statement prepared before the sweep must survive it.
+	var defPrep struct {
+		StmtID string `json:"stmt_id"`
+		Error  string `json:"error"`
+	}
+	postJSON(t, ts.URL+"/prepare", map[string]interface{}{"sql": testQuerySQL}, &defPrep)
+	if defPrep.Error != "" {
+		t.Fatalf("default-session prepare: %s", defPrep.Error)
+	}
+
+	// The session works before expiry.
+	var q testQueryResponse
+	postJSON(t, ts.URL+"/query", map[string]interface{}{
+		"session_id": sess.SessionID, "stmt_id": prep.StmtID,
+		"params": []interface{}{300, 5}}, &q)
+	verifyRanked(t, &q, 300, 5)
+
+	// Force the GC with a clock past the TTL (no real sleeps).
+	s.sessions.expireNow(time.Now().Add(2 * time.Minute))
+
+	// The expired session's prepared handle fails cleanly and says why.
+	var q2 testQueryResponse
+	code := postJSON(t, ts.URL+"/query", map[string]interface{}{
+		"session_id": sess.SessionID, "stmt_id": prep.StmtID,
+		"params": []interface{}{300, 5}}, &q2)
+	if code != http.StatusNotFound {
+		t.Errorf("expired-session query: status %d, want 404", code)
+	}
+	if !strings.Contains(q2.Error, "expired") {
+		t.Errorf("expired-session error %q should say the session expired", q2.Error)
+	}
+	// ...and is distinct from a never-existed session id.
+	var q3 testQueryResponse
+	postJSON(t, ts.URL+"/query", map[string]interface{}{
+		"session_id": "sess-bogus", "stmt_id": prep.StmtID,
+		"params": []interface{}{300, 5}}, &q3)
+	if q3.Error == "" || strings.Contains(q3.Error, "expired") {
+		t.Errorf("unknown-session error %q should not claim expiry", q3.Error)
+	}
+
+	// The default session is exempt: its statement still executes.
+	var q4 testQueryResponse
+	postJSON(t, ts.URL+"/query", map[string]interface{}{
+		"stmt_id": defPrep.StmtID, "params": []interface{}{300, 5}}, &q4)
+	verifyRanked(t, &q4, 300, 5)
+
+	// Reopening is the documented recovery, and /stats records the GC.
+	var sess2 struct {
+		SessionID string `json:"session_id"`
+		Error     string `json:"error"`
+	}
+	postJSON(t, ts.URL+"/session", map[string]interface{}{}, &sess2)
+	if sess2.Error != "" || sess2.SessionID == sess.SessionID {
+		t.Fatalf("reopen: %+v", sess2)
+	}
+	var stats struct {
+		Sessions        int    `json:"sessions"`
+		SessionsExpired uint64 `json:"sessions_expired"`
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SessionsExpired != 1 {
+		t.Errorf("sessions_expired = %d, want 1", stats.SessionsExpired)
+	}
+	if stats.Sessions != 1 {
+		t.Errorf("open sessions = %d, want 1 (the reopened one)", stats.Sessions)
 	}
 }

@@ -138,23 +138,25 @@ type Snapshot struct {
 	Errors        uint64  `json:"errors"`
 	// QPS is the recent rate over the sliding window; QPSTotal the
 	// since-start average.
-	QPS          float64         `json:"qps"`
-	QPSTotal     float64         `json:"qps_total"`
-	AvgQueryMS   float64         `json:"avg_query_ms"`
-	Sessions     int             `json:"sessions"`
-	PerQuery     []TemplateStats `json:"per_query"`
-	PlanCache    CacheSnapshot   `json:"plan_cache"`
-	TablesServed []string        `json:"tables"`
+	QPS             float64         `json:"qps"`
+	QPSTotal        float64         `json:"qps_total"`
+	AvgQueryMS      float64         `json:"avg_query_ms"`
+	Sessions        int             `json:"sessions"`
+	SessionsExpired uint64          `json:"sessions_expired"`
+	PerQuery        []TemplateStats `json:"per_query"`
+	PlanCache       CacheSnapshot   `json:"plan_cache"`
+	TablesServed    []string        `json:"tables"`
 }
 
 // CacheSnapshot mirrors the plan cache counters in the /stats payload.
 type CacheSnapshot struct {
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	Evictions uint64  `json:"evictions"`
-	Entries   int     `json:"entries"`
-	Capacity  int     `json:"capacity"`
-	HitRate   float64 `json:"hit_rate"`
+	Hits            uint64  `json:"hits"`
+	Misses          uint64  `json:"misses"`
+	Evictions       uint64  `json:"evictions"`
+	StaleRecompiles uint64  `json:"stale_recompiles"`
+	Entries         int     `json:"entries"`
+	Capacity        int     `json:"capacity"`
+	HitRate         float64 `json:"hit_rate"`
 }
 
 // snapshot renders the metrics; the caller fills in cache/session/table

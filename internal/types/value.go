@@ -10,6 +10,7 @@ import (
 	"hash/fnv"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // Kind enumerates the scalar types supported by the engine.
@@ -249,5 +250,39 @@ func (v Value) String() string {
 		return v.s
 	default:
 		return "?"
+	}
+}
+
+// ParseCell parses a textual cell (a CSV field) into a value of the given
+// kind. Empty cells and the literal "null" (any case) become NULL. It is
+// the single conversion used by every CSV ingest path, so a sharded
+// router partitioning on a parsed cell hashes exactly the value the shard
+// will store.
+func ParseCell(cell string, kind Kind) (Value, error) {
+	c := strings.TrimSpace(cell)
+	if c == "" || strings.EqualFold(c, "null") {
+		return Null(), nil
+	}
+	switch kind {
+	case KindInt:
+		n, err := strconv.ParseInt(c, 10, 64)
+		if err != nil {
+			return Null(), err
+		}
+		return NewInt(n), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(c, 64)
+		if err != nil {
+			return Null(), err
+		}
+		return NewFloat(f), nil
+	case KindBool:
+		b, err := strconv.ParseBool(strings.ToLower(c))
+		if err != nil {
+			return Null(), err
+		}
+		return NewBool(b), nil
+	default:
+		return NewString(cell), nil
 	}
 }

@@ -276,3 +276,71 @@ func TestParameterErrors(t *testing.T) {
 		t.Error("LIMIT ? bound to 0 must be rejected (0 means 'no limit' internally)")
 	}
 }
+
+func TestPlanCacheStaleRecompile(t *testing.T) {
+	db := openHotelDB(t) // 50 rows
+	stmt, err := db.Prepare(`SELECT name FROM hotel WHERE price < ? ORDER BY cheap(price) LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := stmt.Query(100.0); err != nil {
+		t.Fatal(err)
+	} else if r.CacheHit {
+		t.Fatal("first execution should miss")
+	}
+	if r, err := stmt.Query(100.0); err != nil {
+		t.Fatal(err)
+	} else if !r.CacheHit {
+		t.Fatal("second execution should hit")
+	}
+
+	// Grow the table past StaleFactor (default 2) times its planning-time
+	// row count: 50 -> 110 rows. INSERT does not bump the schema version,
+	// so only the row-count-delta check can catch this.
+	for i := 0; i < 60; i++ {
+		mustExecT(t, db, fmt.Sprintf(`INSERT INTO hotel VALUES ('g%02d', %d, %d)`, i, 20+i*2, 1+i%5))
+	}
+	before := db.PlanCacheStats()
+	r, err := stmt.Query(100.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Error("execution after 2.2x growth must recompile, not reuse the stale plan")
+	}
+	after := db.PlanCacheStats()
+	if after.StaleRecompiles != before.StaleRecompiles+1 {
+		t.Errorf("StaleRecompiles = %d, want %d", after.StaleRecompiles, before.StaleRecompiles+1)
+	}
+
+	// The recompiled plan (costed against 110 rows) is cached in turn.
+	if r, err := stmt.Query(100.0); err != nil {
+		t.Fatal(err)
+	} else if !r.CacheHit {
+		t.Error("recompiled plan should be cached and hit")
+	}
+
+	// Growth below the factor does not invalidate...
+	for i := 0; i < 50; i++ {
+		mustExecT(t, db, fmt.Sprintf(`INSERT INTO hotel VALUES ('s%02d', %d, %d)`, i, 20+i*2, 1+i%5))
+	}
+	if r, err := stmt.Query(100.0); err != nil {
+		t.Fatal(err)
+	} else if !r.CacheHit {
+		t.Error("160 rows < 2*110: plan must still be considered fresh")
+	}
+
+	// ...and a factor <= 1 disables the check entirely.
+	db.SetPlanStalenessFactor(0)
+	for i := 0; i < 200; i++ {
+		mustExecT(t, db, fmt.Sprintf(`INSERT INTO hotel VALUES ('d%03d', %d, %d)`, i, 20+i, 1+i%5))
+	}
+	if r, err := stmt.Query(100.0); err != nil {
+		t.Fatal(err)
+	} else if !r.CacheHit {
+		t.Error("staleness checking disabled: any growth must keep hitting")
+	}
+	if s := db.PlanCacheStats(); s.StaleRecompiles != after.StaleRecompiles {
+		t.Errorf("StaleRecompiles moved to %d with checking disabled", s.StaleRecompiles)
+	}
+}

@@ -139,6 +139,15 @@ type Rows struct {
 	// CacheHit reports whether the query reused a cached compiled plan,
 	// skipping parse/bind/optimize.
 	CacheHit bool
+	// K is the effective top-k bound the query ran under (0 = no LIMIT).
+	K int
+	// Exhausted reports whether the ranked stream ran dry at or before
+	// depth Len(): no further rows exist beyond the ones returned. When
+	// false (the result holds exactly K rows), re-running with a larger
+	// LIMIT could surface more rows — the signal a distributed top-k
+	// merge uses to bound a shard's remaining contribution. Always true
+	// for unlimited queries.
+	Exhausted bool
 
 	execTree func() string
 	pos      int
@@ -254,12 +263,14 @@ func (db *DB) Query(sql string) (*Rows, error) {
 
 func wrapRows(rows *engine.Rows) *Rows {
 	return &Rows{
-		Columns:  rows.Columns,
-		rows:     rows.Data,
-		Scores:   rows.Scores,
-		Stats:    convertStats(rows.Stats),
-		execTree: rows.ExecTree,
-		CacheHit: rows.CacheHit,
+		Columns:   rows.Columns,
+		rows:      rows.Data,
+		Scores:    rows.Scores,
+		Stats:     convertStats(rows.Stats),
+		execTree:  rows.ExecTree,
+		CacheHit:  rows.CacheHit,
+		K:         rows.K,
+		Exhausted: rows.Exhausted,
 	}
 }
 
@@ -448,7 +459,11 @@ func (db *DB) ExecContext(ctx context.Context, sql string, args ...interface{}) 
 // CacheStats is a snapshot of the plan cache's counters.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
-	Entries, Capacity       int
+	// StaleRecompiles counts cache hits discarded because a referenced
+	// table outgrew the plan's planning-time row count (see
+	// SetPlanStalenessFactor), forcing a recompile.
+	StaleRecompiles   uint64
+	Entries, Capacity int
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -465,12 +480,22 @@ func (db *DB) PlanCacheStats() CacheStats {
 	s := db.eng.Plans.Stats()
 	return CacheStats{
 		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
-		Entries: s.Entries, Capacity: s.Capacity,
+		StaleRecompiles: s.StaleRecompiles,
+		Entries:         s.Entries, Capacity: s.Capacity,
 	}
 }
 
 // SetPlanCacheCapacity resizes the plan cache; 0 disables caching.
 func (db *DB) SetPlanCacheCapacity(n int) { db.eng.Plans.Resize(n) }
+
+// SetPlanStalenessFactor sets the row-count growth ratio past which a
+// cached plan is recompiled: a plan compiled against a table of R rows is
+// discarded (and transparently re-optimized) once the table exceeds
+// factor*R rows, so cost estimates track data growth without DDL. Values
+// <= 1 disable the check. The default is 2.
+func (db *DB) SetPlanStalenessFactor(factor float64) {
+	db.eng.SetStaleFactor(factor)
+}
 
 // toValues converts native Go arguments to engine values.
 func toValues(args []interface{}) ([]types.Value, error) {
