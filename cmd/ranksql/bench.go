@@ -10,12 +10,12 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ranksql"
+	"ranksql/internal/obs"
 	"ranksql/internal/router"
 	"ranksql/internal/server"
 )
@@ -33,16 +33,29 @@ func runBench(args []string) {
 	dataset := fs.String("seed", "webshop", "dataset for the self-hosted server: webshop or tripplanner")
 	rows := fs.Int("rows", 20000, "seeded base-table row count (self-hosted)")
 	concurrency := fs.Int("concurrency", 8, "concurrent client workers")
-	requests := fs.Int("requests", 2000, "total query requests")
+	requests := fs.Int("requests", 2000, "total query requests (timed, after warm-up)")
+	warmup := fs.Int("warmup", 200, "untimed warm-up requests before the measured window (plan cache and CPU warm)")
 	k := fs.Int("k", 10, "top-k bound per query")
 	writeEvery := fs.Int("write-every", 0, "per worker, issue an INSERT every N queries (0 = read-only)")
 	routerMode := fs.Bool("router", false, "drive a sharded cluster: self-host -shards in-process ranksqld shards behind a router (or treat -addr as a router)")
 	numShards := fs.Int("shards", 2, "shard count for the self-hosted router cluster")
+	jsonPath := fs.String("json", "", "write the machine-readable benchmark report to this file")
+	validate := fs.String("validate", "", "validate an existing benchmark report file and exit (CI schema check)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
+	if *validate != "" {
+		if err := validateReport(*validate); err != nil {
+			log.Fatalf("bench: validate %s: %v", *validate, err)
+		}
+		fmt.Printf("%s: valid benchmark report\n", *validate)
+		return
+	}
 	if *concurrency < 1 || *requests < 1 || *k < 1 {
 		log.Fatalf("bench: -concurrency, -requests and -k must be >= 1 (got %d, %d, %d)", *concurrency, *requests, *k)
+	}
+	if *warmup < 0 {
+		*warmup = 0
 	}
 
 	base := *addr
@@ -76,7 +89,7 @@ func runBench(args []string) {
 
 	queryTemplate, insertTemplate, paramGen := benchWorkload(*dataset)
 	fmt.Printf("template: %s\n", queryTemplate)
-	fmt.Printf("%d requests, %d workers, k=%d", *requests, *concurrency, *k)
+	fmt.Printf("%d requests (after %d warm-up), %d workers, k=%d", *requests, *warmup, *concurrency, *k)
 	if *writeEvery > 0 {
 		fmt.Printf(", 1 INSERT per %d queries per worker", *writeEvery)
 	}
@@ -87,21 +100,31 @@ func runBench(args []string) {
 		cacheHits  int64
 		violations int64
 		writes     int64
-		mu         sync.Mutex
-		latencies  []time.Duration
+		maxNanos   int64
+		hist       = obs.NewHistogram()
 	)
-	start := time.Now()
-	var wg sync.WaitGroup
+	// Warm-up requests are issued through the same sessions and prepared
+	// statements as the measured window, so the plan cache, scheduler and
+	// allocator are warm — but their latencies never enter the histogram.
+	// All workers finish warming up before the timed window opens (the
+	// warmed barrier), so slow first-compilations can't leak into the tail.
+	var warmed, wg sync.WaitGroup
+	timedGate := make(chan struct{})
 	// Distribute requests across workers, spreading the remainder so
-	// -requests is honored exactly.
+	// -requests (and -warmup) are honored exactly.
 	perWorker, extra := *requests / *concurrency, *requests%*concurrency
+	warmPerWorker, warmExtra := *warmup / *concurrency, *warmup%*concurrency
+	warmed.Add(*concurrency)
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			quota := perWorker
+			quota, warmQuota := perWorker, warmPerWorker
 			if worker < extra {
 				quota++
+			}
+			if worker < warmExtra {
+				warmQuota++
 			}
 			c := &benchClient{base: base, http: &http.Client{Timeout: 30 * time.Second}}
 			sessionID, err := c.openSession()
@@ -119,7 +142,13 @@ func runBench(args []string) {
 				}
 			}
 			rng := server.NewRng(uint64(worker)*0x9E3779B97F4A7C15 + 1)
-			var local []time.Duration
+			for i := 0; i < warmQuota; i++ {
+				if _, err := c.query(sessionID, stmtID, paramGen.query(&rng, *k)); err != nil {
+					log.Fatalf("bench: worker %d: warm-up query: %v", worker, err)
+				}
+			}
+			warmed.Done()
+			<-timedGate
 			for i := 0; i < quota; i++ {
 				if *writeEvery > 0 && i%*writeEvery == *writeEvery-1 {
 					if err := c.exec(sessionID, insertID, paramGen.insert(&rng, worker, i)); err != nil {
@@ -133,7 +162,14 @@ func runBench(args []string) {
 				if err != nil {
 					log.Fatalf("bench: worker %d: query: %v", worker, err)
 				}
-				local = append(local, time.Since(t0))
+				d := time.Since(t0)
+				hist.ObserveDuration(d)
+				for {
+					cur := atomic.LoadInt64(&maxNanos)
+					if int64(d) <= cur || atomic.CompareAndSwapInt64(&maxNanos, cur, int64(d)) {
+						break
+					}
+				}
 				atomic.AddInt64(&done, 1)
 				if resp.CacheHit {
 					atomic.AddInt64(&cacheHits, 1)
@@ -150,35 +186,55 @@ func runBench(args []string) {
 					}
 				}
 			}
-			mu.Lock()
-			latencies = append(latencies, local...)
-			mu.Unlock()
 		}(w)
 	}
+	warmed.Wait()
+	start := time.Now()
+	close(timedGate)
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
-	}
 	total := atomic.LoadInt64(&done)
 	if total == 0 {
 		fmt.Println("no requests issued (check -requests/-concurrency)")
 		os.Exit(1)
 	}
+	lat := hist.Summarize()
+	maxMS := float64(atomic.LoadInt64(&maxNanos)) / 1e6
+	hitRate := float64(atomic.LoadInt64(&cacheHits)) / float64(total)
 	fmt.Printf("\n== results ==\n")
 	fmt.Printf("queries    %d (+%d inserts) in %.2fs  ->  %.0f qps\n",
 		total, atomic.LoadInt64(&writes), elapsed.Seconds(), float64(total)/elapsed.Seconds())
-	fmt.Printf("latency    p50=%v  p95=%v  p99=%v  max=%v\n", pct(0.50), pct(0.95), pct(0.99), pct(1.0))
+	fmt.Printf("latency    mean=%.2fms  p50=%.2fms  p95=%.2fms  p99=%.2fms  max=%.2fms\n",
+		lat.MeanMS, lat.P50MS, lat.P95MS, lat.P99MS, maxMS)
 	fmt.Printf("plan cache %d/%d client-observed hits (%.1f%%)\n",
-		atomic.LoadInt64(&cacheHits), total, 100*float64(atomic.LoadInt64(&cacheHits))/float64(total))
+		atomic.LoadInt64(&cacheHits), total, 100*hitRate)
+
+	report := benchReport{
+		Mode:         "single",
+		Dataset:      *dataset,
+		Rows:         *rows,
+		Concurrency:  *concurrency,
+		Requests:     int(total),
+		Warmup:       *warmup,
+		K:            *k,
+		Writes:       atomic.LoadInt64(&writes),
+		ElapsedSec:   elapsed.Seconds(),
+		QPS:          float64(total) / elapsed.Seconds(),
+		Latency:      lat,
+		MaxMS:        maxMS,
+		CacheHitRate: hitRate,
+		Violations:   atomic.LoadInt64(&violations),
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if *routerMode {
+		report.Mode = "router"
+		report.Shards = *numShards
+	}
+
 	if v := atomic.LoadInt64(&violations); v > 0 {
 		fmt.Printf("RANKING VIOLATIONS: %d\n", v)
+		writeReport(*jsonPath, &report)
 		os.Exit(1)
 	}
 	fmt.Println("ranking    all responses correctly ordered, |rows| <= k")
@@ -188,6 +244,12 @@ func runBench(args []string) {
 		var stats router.Snapshot
 		if err := getJSON(base+"/stats", &stats); err != nil {
 			log.Fatalf("bench: stats: %v", err)
+		}
+		report.Pruning = &pruningReport{
+			QueriesWithPrunedShards: stats.QueriesWithPrunedShards,
+			ShardsPrunedTotal:       stats.ShardsPrunedTotal,
+			RefillsTotal:            stats.RefillsTotal,
+			FetchAmplification:      stats.FetchAmplification,
 		}
 		fmt.Printf("\n== router /stats ==\n")
 		fmt.Printf("shards=%d queries=%d execs=%d errors=%d avg=%.2fms\n",
@@ -200,12 +262,16 @@ func runBench(args []string) {
 			fmt.Printf("  %6d× pruned=%d refills=%d avg=%.2fms  %s\n",
 				q.Count, q.ShardsPruned, q.Refills, q.AvgMS, truncate(q.Query, 80))
 		}
+		writeReport(*jsonPath, &report)
 		return
 	}
 	var stats server.Snapshot
 	if err := getJSON(base+"/stats", &stats); err != nil {
 		log.Fatalf("bench: stats: %v", err)
 	}
+	// Prefer the daemon's own plan-cache hit rate (it also sees warm-up
+	// traffic and concurrent clients) in the recorded report.
+	report.CacheHitRate = stats.PlanCache.HitRate
 	fmt.Printf("\n== server /stats ==\n")
 	fmt.Printf("queries=%d execs=%d errors=%d qps(recent)=%.0f avg=%.2fms\n",
 		stats.Queries, stats.Execs, stats.Errors, stats.QPS, stats.AvgQueryMS)
@@ -215,6 +281,101 @@ func runBench(args []string) {
 		fmt.Printf("  %6d× avg_depth_k=%.1f max_depth_k=%d avg=%.2fms  %s\n",
 			q.Count, q.AvgDepthK, q.MaxDepthK, q.AvgMS, truncate(q.Query, 80))
 	}
+	writeReport(*jsonPath, &report)
+}
+
+// benchReport is the machine-readable result written by -json and
+// checked by -validate: the recorded perf baseline's schema.
+type benchReport struct {
+	Mode         string         `json:"mode"` // "single" or "router"
+	Dataset      string         `json:"dataset"`
+	Rows         int            `json:"rows"`
+	Shards       int            `json:"shards,omitempty"`
+	Concurrency  int            `json:"concurrency"`
+	Requests     int            `json:"requests"`
+	Warmup       int            `json:"warmup"`
+	K            int            `json:"k"`
+	Writes       int64          `json:"writes"`
+	ElapsedSec   float64        `json:"elapsed_sec"`
+	QPS          float64        `json:"qps"`
+	Latency      obs.Summary    `json:"latency_ms"`
+	MaxMS        float64        `json:"max_ms"`
+	CacheHitRate float64        `json:"cache_hit_rate"`
+	Violations   int64          `json:"violations"`
+	Pruning      *pruningReport `json:"pruning,omitempty"`
+	GeneratedAt  string         `json:"generated_at"`
+}
+
+// pruningReport captures the router's threshold-merge effectiveness for
+// the benchmarked workload.
+type pruningReport struct {
+	QueriesWithPrunedShards uint64  `json:"queries_with_pruned_shards"`
+	ShardsPrunedTotal       uint64  `json:"shards_pruned_total"`
+	RefillsTotal            uint64  `json:"refills_total"`
+	FetchAmplification      float64 `json:"fetch_amplification"`
+}
+
+// writeReport writes the benchmark report as indented JSON. A missing
+// -json path is a no-op so the human-readable output stands alone.
+func writeReport(path string, r *benchReport) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatalf("bench: encoding report: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("bench: writing %s: %v", path, err)
+	}
+	fmt.Printf("\nreport written to %s\n", path)
+}
+
+// validateReport checks that a benchmark report file conforms to the
+// benchReport schema, for the CI bench smoke lane.
+func validateReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("not valid JSON: %v", err)
+	}
+	if r.Mode != "single" && r.Mode != "router" {
+		return fmt.Errorf("mode = %q, want single or router", r.Mode)
+	}
+	if r.Mode == "router" {
+		if r.Shards < 1 {
+			return fmt.Errorf("router report has shards = %d", r.Shards)
+		}
+		if r.Pruning == nil {
+			return fmt.Errorf("router report missing pruning block")
+		}
+	}
+	if r.Requests < 1 || r.Concurrency < 1 || r.K < 1 {
+		return fmt.Errorf("requests/concurrency/k must be >= 1 (got %d, %d, %d)", r.Requests, r.Concurrency, r.K)
+	}
+	if r.QPS <= 0 || r.ElapsedSec <= 0 {
+		return fmt.Errorf("qps and elapsed_sec must be positive (got %.2f, %.2f)", r.QPS, r.ElapsedSec)
+	}
+	if r.Latency.Count == 0 {
+		return fmt.Errorf("latency_ms.count is zero")
+	}
+	if r.Latency.P50MS < 0 || r.Latency.P50MS > r.Latency.P95MS+1e-9 || r.Latency.P95MS > r.Latency.P99MS+1e-9 {
+		return fmt.Errorf("latency percentiles not monotone: p50=%.3f p95=%.3f p99=%.3f",
+			r.Latency.P50MS, r.Latency.P95MS, r.Latency.P99MS)
+	}
+	if r.CacheHitRate < 0 || r.CacheHitRate > 1 {
+		return fmt.Errorf("cache_hit_rate = %.3f, want within [0, 1]", r.CacheHitRate)
+	}
+	if r.Violations != 0 {
+		return fmt.Errorf("report records %d ranking violations", r.Violations)
+	}
+	if _, err := time.Parse(time.RFC3339, r.GeneratedAt); err != nil {
+		return fmt.Errorf("generated_at: %v", err)
+	}
+	return nil
 }
 
 // selfHostCluster spins up n in-process ranksqld shards on loopback

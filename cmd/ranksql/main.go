@@ -15,6 +15,10 @@
 //	.explain <select>    show the optimized plan
 //	.quit                exit
 //
+// SQL-level EXPLAIN works too, and EXPLAIN ANALYZE executes the query
+// and prints the operator tree with per-operator rows, depth-k, wall
+// time and call counts.
+//
 // The shell registers a few generic scorers at startup: cheap(x) =
 // max(0, 1 - x/1000), high(x) = min(1, x/1000), close(x, y) =
 // 1/(1+|x-y|/10), equal(x, y) = 1 if x = y else 0.
@@ -139,12 +143,18 @@ func runSQL(db *ranksql.DB, line string) {
 	head := strings.ToLower(strings.Fields(line)[0])
 	if head == "select" || head == "explain" {
 		if head == "explain" {
-			plan, err := db.Explain(strings.TrimSpace(line[len("explain"):]))
+			// EXPLAIN and EXPLAIN ANALYZE both flow through Query: the
+			// former prints the optimized plan, the latter executes the
+			// statement and prints the tree with per-operator rows,
+			// depth-k, wall time and call counts.
+			rows, err := db.Query(line)
 			if err != nil {
 				fmt.Println("error:", err)
 				return
 			}
-			fmt.Print(plan)
+			for i := 0; i < rows.Len(); i++ {
+				fmt.Println(rows.At(i)[0].Text())
+			}
 			return
 		}
 		rows, err := db.Query(line)

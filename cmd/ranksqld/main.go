@@ -48,19 +48,32 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 0, "idle-session expiry (0 = sessions never expire)")
 	routerMode := flag.Bool("router", false, "run as a sharding coordinator over -shards instead of an embedded engine")
 	shards := flag.String("shards", "", "comma-separated shard base URLs (router mode), e.g. host1:7070,host2:7070")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this threshold at Warn (0 = disabled), e.g. 250ms")
+	profileEvery := flag.Int("profile-every", 0, "sample per-operator runtime profiles every N-th execution of a cached plan (0 = engine default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	if *routerMode {
-		runRouter(ctx, *addr, *shards, *seed, *rows)
+		var ropts []router.Option
+		if *pprofFlag {
+			ropts = append(ropts, router.WithPprof())
+		}
+		if *slowQuery > 0 {
+			ropts = append(ropts, router.WithSlowQueryThreshold(*slowQuery))
+		}
+		runRouter(ctx, *addr, *shards, *seed, *rows, ropts)
 		return
 	}
 
 	db := ranksql.Open()
 	if *cache > 0 {
 		db.SetPlanCacheCapacity(*cache)
+	}
+	if *profileEvery > 0 {
+		db.SetProfileSampling(*profileEvery)
 	}
 	if err := server.Seed(db, *seed, *rows); err != nil {
 		log.Fatalf("ranksqld: seeding %s: %v", *seed, err)
@@ -82,6 +95,12 @@ func main() {
 	if *sessionTTL > 0 {
 		opts = append(opts, server.WithSessionTTL(*sessionTTL))
 	}
+	if *pprofFlag {
+		opts = append(opts, server.WithPprof())
+	}
+	if *slowQuery > 0 {
+		opts = append(opts, server.WithSlowQueryThreshold(*slowQuery))
+	}
 	if err := server.New(db, opts...).Serve(ctx, *addr); err != nil {
 		log.Fatalf("ranksqld: %v", err)
 	}
@@ -91,14 +110,14 @@ func main() {
 // fan-out plus threshold-merged top-k over the listed shard backends.
 // With -seed it loads the dataset through its own partitioned ingest
 // path once the listener is up (the shards receive only their rows).
-func runRouter(ctx context.Context, addr, shardList, seed string, rows int) {
+func runRouter(ctx context.Context, addr, shardList, seed string, rows int, opts []router.Option) {
 	var urls []string
 	for _, u := range strings.Split(shardList, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			urls = append(urls, u)
 		}
 	}
-	rt, err := router.New(urls)
+	rt, err := router.New(urls, opts...)
 	if err != nil {
 		log.Fatalf("ranksqld: %v", err)
 	}

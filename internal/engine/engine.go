@@ -56,6 +56,12 @@ type DB struct {
 	// (its cost estimates no longer describe the data). Values <= 1
 	// disable staleness checking. Default DefaultStaleFactor.
 	StaleFactor float64
+	// ProfileEvery samples per-operator runtime profiling: every N-th
+	// execution of a cached plan runs with operator timing enabled,
+	// feeding the per-template operator profiles without taxing the other
+	// N-1 executions. 0 disables sampling (EXPLAIN ANALYZE still
+	// profiles). Default DefaultProfileEvery.
+	ProfileEvery int
 	// version is the schema version; DDL bumps it, invalidating every
 	// cached plan key minted under the old version.
 	version uint64
@@ -65,14 +71,19 @@ type DB struct {
 // invalidates cached plans (2 = recompile after a table doubles).
 const DefaultStaleFactor = 2.0
 
+// DefaultProfileEvery is the default operator-profiling sampling rate:
+// one in every 16 executions of a plan carries timing instrumentation.
+const DefaultProfileEvery = 16
+
 // New creates an empty database with default optimizer options.
 func New() *DB {
 	return &DB{
-		Catalog:     catalog.New(),
-		scorers:     map[string]Scorer{},
-		Options:     optimizer.DefaultOptions(),
-		Plans:       NewPlanCache(DefaultPlanCacheCapacity),
-		StaleFactor: DefaultStaleFactor,
+		Catalog:      catalog.New(),
+		scorers:      map[string]Scorer{},
+		Options:      optimizer.DefaultOptions(),
+		Plans:        NewPlanCache(DefaultPlanCacheCapacity),
+		StaleFactor:  DefaultStaleFactor,
+		ProfileEvery: DefaultProfileEvery,
 	}
 }
 
@@ -81,6 +92,14 @@ func (db *DB) SetStaleFactor(f float64) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.StaleFactor = f
+}
+
+// SetProfileSampling reconfigures operator-profiling sampling: every
+// N-th execution of a plan is profiled (0 disables sampling).
+func (db *DB) SetProfileSampling(every int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.ProfileEvery = every
 }
 
 // SetOptions swaps the optimizer configuration and invalidates cached
@@ -182,6 +201,14 @@ type Rows struct {
 	// (purely diagnostic) rendering is only paid for when requested —
 	// the high-QPS server path never asks for it. May be nil.
 	ExecTree func() string
+	// Tree is the structured executed-tree snapshot behind ExecTree:
+	// per-operator labels, rows emitted, and depth of enumeration, plus
+	// wall time and call counts when Profiled.
+	Tree exec.TreeSnapshot
+	// Profiled reports whether this execution carried per-operator
+	// timing (EXPLAIN ANALYZE always does; plain executions are sampled
+	// every DB.ProfileEvery-th run of a template).
+	Profiled bool
 }
 
 // Exec runs any statement; for SELECT it returns (nil, *Rows via Query).

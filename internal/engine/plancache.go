@@ -3,6 +3,7 @@ package engine
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"ranksql/internal/optimizer"
 	"ranksql/internal/rank"
@@ -33,6 +34,10 @@ type CompiledPlan struct {
 	// time (by lower-cased name), so a later execution can detect that
 	// the data has outgrown the plan's cost assumptions.
 	TableRows map[string]int
+	// execs counts executions of this plan, driving the ProfileEvery
+	// sampling decision. Atomic: one cached plan serves concurrent
+	// queries under the DB read lock.
+	execs atomic.Uint64
 }
 
 // planKey identifies a cached plan: the normalized statement text (which

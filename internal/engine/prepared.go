@@ -136,6 +136,11 @@ func (db *DB) querySelect(sel *sql.SelectStmt, norm string, params []types.Value
 		k = n
 	}
 
+	// EXPLAIN [ANALYZE] routes through the same template machinery:
+	// Normalize ignores the flags, so an analyze run shares (and warms)
+	// the plan-cache entry of the underlying SELECT.
+	explainOnly := sel.Explain && !sel.Analyze
+
 	// Cached-plan lookup.
 	parameterized := want > 0
 	var cp *CompiledPlan
@@ -158,12 +163,20 @@ func (db *DB) querySelect(sel *sql.SelectStmt, norm string, params []types.Value
 		cp = nil
 	}
 	if cp != nil {
-		rows, err := db.runCompiled(cp, params, cancel)
+		if explainOnly {
+			rows := planTextRows(cp.Plan.String())
+			rows.CacheHit = true
+			return rows, nil
+		}
+		rows, err := db.runCompiled(cp, params, cancel, sel.Analyze || db.shouldProfile(cp))
 		if err != nil {
 			return nil, err
 		}
 		rows.CacheHit = true
 		finishRows(rows, k)
+		if sel.Analyze {
+			rows = analyzeRows(rows)
+		}
 		return rows, nil
 	}
 
@@ -185,12 +198,55 @@ func (db *DB) querySelect(sel *sql.SelectStmt, norm string, params []types.Value
 		pr.localPlan, pr.localVersion = cp, db.version
 		pr.localMu.Unlock()
 	}
-	rows, err := db.execOperator(cp, op, cancel)
+	if explainOnly {
+		return planTextRows(cp.Plan.String()), nil
+	}
+	rows, err := db.execOperator(cp, op, cancel, sel.Analyze || db.shouldProfile(cp))
 	if err != nil {
 		return nil, err
 	}
 	finishRows(rows, k)
+	if sel.Analyze {
+		rows = analyzeRows(rows)
+	}
 	return rows, nil
+}
+
+// shouldProfile decides whether this execution of a compiled plan should
+// carry operator timing: every ProfileEvery-th run, starting with the
+// first.
+func (db *DB) shouldProfile(cp *CompiledPlan) bool {
+	every := db.ProfileEvery
+	if every <= 0 {
+		return false
+	}
+	return (cp.execs.Add(1)-1)%uint64(every) == 0
+}
+
+// planTextRows shapes a plan rendering as an EXPLAIN result: one
+// "QUERY PLAN" column, one row per line.
+func planTextRows(text string) *Rows {
+	rows := &Rows{Columns: []string{"QUERY PLAN"}, Exhausted: true}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rows.Data = append(rows.Data, []types.Value{types.NewString(line)})
+	}
+	return rows
+}
+
+// analyzeRows reshapes an executed (and profiled) result into EXPLAIN
+// ANALYZE output: the rendered operator tree with per-operator rows,
+// depth-k, wall time and call counts, while keeping the structured
+// snapshot, counters and cache provenance of the real execution.
+func analyzeRows(rows *Rows) *Rows {
+	out := planTextRows(rows.ExecTree())
+	out.CacheHit = rows.CacheHit
+	out.K = rows.K
+	out.Stats = rows.Stats
+	out.Plan = rows.Plan
+	out.Tree = rows.Tree
+	out.Profiled = rows.Profiled
+	out.ExecTree = rows.ExecTree
+	return out
 }
 
 // finishRows annotates a materialized result with its effective top-k
@@ -282,7 +338,7 @@ func (db *DB) compileSelect(sel *sql.SelectStmt) (*CompiledPlan, exec.Operator, 
 
 // runCompiled instantiates a compiled plan with the given parameter
 // values and executes it. Callers hold db.mu (read side).
-func (db *DB) runCompiled(cp *CompiledPlan, params []types.Value, cancel <-chan struct{}) (*Rows, error) {
+func (db *DB) runCompiled(cp *CompiledPlan, params []types.Value, cancel <-chan struct{}, profile bool) (*Rows, error) {
 	plan := cp.Plan
 	if cp.HasParams {
 		bound, err := optimizer.BindPlanParams(cp.Plan, params)
@@ -302,24 +358,28 @@ func (db *DB) runCompiled(cp *CompiledPlan, params []types.Value, cancel <-chan 
 		}
 		op = pr
 	}
-	return db.execOperator(cp, op, cancel)
+	return db.execOperator(cp, op, cancel, profile)
 }
 
 // execOperator runs a built operator tree and materializes the result.
 // Callers hold db.mu (read side).
-func (db *DB) execOperator(cp *CompiledPlan, op exec.Operator, cancel <-chan struct{}) (*Rows, error) {
+func (db *DB) execOperator(cp *CompiledPlan, op exec.Operator, cancel <-chan struct{}, profile bool) (*Rows, error) {
 	ctx := exec.NewContext(cp.Spec)
 	ctx.SpinPerCostUnit = db.SpinPerCostUnit
 	ctx.Cancel = cancel
+	ctx.Profile = profile
 	tuples, err := exec.Run(ctx, op)
 	if err != nil {
 		return nil, err
 	}
+	tree := exec.SnapshotTree(op)
 	rows := &Rows{
 		Columns:  append([]string(nil), cp.Columns...),
 		Plan:     cp.Plan,
 		Stats:    ctx.Stats,
-		ExecTree: exec.SnapshotTree(op).String,
+		ExecTree: tree.String,
+		Tree:     tree,
+		Profiled: tree.Profiled(),
 	}
 	for _, t := range tuples {
 		rows.Data = append(rows.Data, t.Values)

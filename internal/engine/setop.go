@@ -35,6 +35,13 @@ func (db *DB) sideQuery(sel *sql.SelectStmt, terms []sql.OrderTerm) (*optimizer.
 
 // runSetOp plans and executes a set-operation statement.
 func (db *DB) runSetOp(st *sql.SetOpStmt, cancel <-chan struct{}) (*Rows, error) {
+	if st.Explain && !st.Analyze {
+		text, err := db.explainSetOp(st)
+		if err != nil {
+			return nil, err
+		}
+		return planTextRows(text), nil
+	}
 	lop, rop, spec, err := db.buildSetOp(st)
 	if err != nil {
 		return nil, err
@@ -58,11 +65,13 @@ func (db *DB) runSetOp(st *sql.SetOpStmt, cancel <-chan struct{}) (*Rows, error)
 	ctx := exec.NewContext(spec)
 	ctx.SpinPerCostUnit = db.SpinPerCostUnit
 	ctx.Cancel = cancel
+	ctx.Profile = st.Analyze
 	tuples, err := exec.Run(ctx, root)
 	if err != nil {
 		return nil, err
 	}
-	rows := &Rows{Stats: ctx.Stats, ExecTree: exec.SnapshotTree(root).String}
+	tree := exec.SnapshotTree(root)
+	rows := &Rows{Stats: ctx.Stats, ExecTree: tree.String, Tree: tree, Profiled: tree.Profiled()}
 	for _, c := range root.Schema().Columns {
 		rows.Columns = append(rows.Columns, c.QualifiedName())
 	}
@@ -71,6 +80,9 @@ func (db *DB) runSetOp(st *sql.SetOpStmt, cancel <-chan struct{}) (*Rows, error)
 		rows.Scores = append(rows.Scores, t.Score)
 	}
 	finishRows(rows, st.Limit)
+	if st.Analyze {
+		rows = analyzeRows(rows)
+	}
 	return rows, nil
 }
 

@@ -63,6 +63,11 @@ type Context struct {
 	// Cancel, when non-nil and closed, interrupts execution at the next
 	// cancellation point.
 	Cancel <-chan struct{}
+	// Profile enables per-operator wall-time accounting: each operator's
+	// Open and Next add their inclusive elapsed time to the node's
+	// counters, which SnapshotTree then captures for EXPLAIN ANALYZE and
+	// per-template operator profiles.
+	Profile bool
 
 	checkCtr int
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"ranksql/internal/expr"
 	"ranksql/internal/schema"
@@ -30,12 +31,18 @@ func NewFilter(child Operator, cond expr.Expr) (*Filter, error) {
 
 // Open implements Operator.
 func (f *Filter) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer f.prof(time.Now())
+	}
 	f.reset()
 	return f.child.Open(ctx)
 }
 
 // Next implements Operator.
 func (f *Filter) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer f.prof(time.Now())
+	}
 	for {
 		t, err := f.child.Next(ctx)
 		if err != nil || t == nil {
@@ -89,12 +96,18 @@ func NewProject(child Operator, idx []int) (*Project, error) {
 
 // Open implements Operator.
 func (p *Project) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer p.prof(time.Now())
+	}
 	p.reset()
 	return p.child.Open(ctx)
 }
 
 // Next implements Operator.
 func (p *Project) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer p.prof(time.Now())
+	}
 	t, err := p.child.Next(ctx)
 	if err != nil || t == nil {
 		return nil, err

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"ranksql/internal/expr"
 	"ranksql/internal/schema"
@@ -82,6 +83,9 @@ func NewNestedLoopJoin(left, right Operator, cond expr.Expr) (*NestedLoopJoin, e
 
 // Open implements Operator.
 func (j *NestedLoopJoin) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer j.prof(time.Now())
+	}
 	j.reset()
 	j.inner = nil
 	j.cur = nil
@@ -108,6 +112,9 @@ func (j *NestedLoopJoin) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (j *NestedLoopJoin) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer j.prof(time.Now())
+	}
 	for {
 		if err := ctx.interrupted(); err != nil {
 			return nil, err
@@ -186,6 +193,9 @@ func NewHashJoin(left, right Operator, leftKey, rightKey *expr.Col, extra expr.E
 
 // Open implements Operator.
 func (j *HashJoin) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer j.prof(time.Now())
+	}
 	j.reset()
 	j.table = map[uint64][]*schema.Tuple{}
 	j.cur = nil
@@ -213,6 +223,9 @@ func (j *HashJoin) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (j *HashJoin) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer j.prof(time.Now())
+	}
 	for {
 		if err := ctx.interrupted(); err != nil {
 			return nil, err
@@ -294,6 +307,9 @@ func NewSortMergeJoin(left, right Operator, leftKey, rightKey *expr.Col, extra e
 
 // Open implements Operator.
 func (j *SortMergeJoin) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer j.prof(time.Now())
+	}
 	j.reset()
 	j.l = nil
 	j.group = nil
@@ -353,6 +369,9 @@ func (j *SortMergeJoin) loadGroup(ctx *Context, key types.Value) error {
 
 // Next implements Operator.
 func (j *SortMergeJoin) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer j.prof(time.Now())
+	}
 	for {
 		if err := ctx.interrupted(); err != nil {
 			return nil, err

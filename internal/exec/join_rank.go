@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"ranksql/internal/expr"
 	"ranksql/internal/schema"
@@ -200,6 +201,9 @@ func NewHRJN(left, right Operator, leftKey, rightKey *expr.Col, extra expr.Expr)
 
 // Open implements Operator.
 func (j *HRJN) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer j.prof(time.Now())
+	}
 	j.lTable = map[uint64][]*schema.Tuple{}
 	j.rTable = map[uint64][]*schema.Tuple{}
 	return j.openBase(ctx)
@@ -246,6 +250,9 @@ func (j *HRJN) probe(ctx *Context, t *schema.Tuple, fromLeft bool) error {
 
 // Next implements Operator.
 func (j *HRJN) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer j.prof(time.Now())
+	}
 	return j.nextRanked(ctx, func(t *schema.Tuple, fromLeft bool) error {
 		return j.probe(ctx, t, fromLeft)
 	})
@@ -285,12 +292,18 @@ func NewNRJN(left, right Operator, cond expr.Expr) (*NRJN, error) {
 
 // Open implements Operator.
 func (j *NRJN) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer j.prof(time.Now())
+	}
 	j.lSeen, j.rSeen = nil, nil
 	return j.openBase(ctx)
 }
 
 // Next implements Operator.
 func (j *NRJN) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer j.prof(time.Now())
+	}
 	return j.nextRanked(ctx, func(t *schema.Tuple, fromLeft bool) error {
 		var others []*schema.Tuple
 		if fromLeft {

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"strings"
+	"time"
 
 	"ranksql/internal/schema"
 )
@@ -39,10 +40,37 @@ type Operator interface {
 type opBase struct {
 	sch *schema.Schema
 	out int64
+	// in counts tuples a leaf pulled from its table — the leaf's depth of
+	// enumeration. Inner nodes derive depth-k from their children's out.
+	in int64
+	// timeNS / calls accumulate inclusive wall time across Open and Next
+	// when Context.Profile is set.
+	timeNS int64
+	calls  int64
 }
 
 func (b *opBase) Schema() *schema.Schema { return b.sch }
 func (b *opBase) OutCount() int64        { return b.out }
+
+// profiled is the side interface SnapshotTree uses to read profiling
+// counters without widening the public Operator interface; every operator
+// gets it by embedding opBase.
+type profiled interface {
+	profCounters() (timeNS, calls, in int64)
+}
+
+func (b *opBase) profCounters() (int64, int64, int64) { return b.timeNS, b.calls, b.in }
+
+// prof accumulates inclusive wall time for one Open or Next invocation.
+// Call as `defer b.prof(time.Now())`, guarded by ctx.Profile so the
+// unprofiled hot path pays only a branch.
+func (b *opBase) prof(start time.Time) {
+	b.timeNS += int64(time.Since(start))
+	b.calls++
+}
+
+// scanned counts a tuple pulled from a base table (leaves only).
+func (b *opBase) scanned() { b.in++ }
 
 // emit counts an outgoing tuple.
 func (b *opBase) emit(t *schema.Tuple) *schema.Tuple {
@@ -52,9 +80,9 @@ func (b *opBase) emit(t *schema.Tuple) *schema.Tuple {
 	return t
 }
 
-// reset clears the output counter (operators are single-use; reset exists
+// reset clears the counters (operators are single-use; reset exists
 // for the estimator, which re-opens cached trees).
-func (b *opBase) reset() { b.out = 0 }
+func (b *opBase) reset() { b.out, b.in, b.timeNS, b.calls = 0, 0, 0, 0 }
 
 // tupleHeap is a max-heap of tuples by Score (descending) with TID
 // tie-break — the "ranking queue" of §4.1.
@@ -117,7 +145,7 @@ func FormatTree(op Operator) string {
 }
 
 // TreeSnapshot is a compact record of an executed operator tree: just the
-// labels and output counts, without retaining the operators (and their
+// labels and counters, without retaining the operators (and their
 // buffers) themselves.
 type TreeSnapshot []TreeNode
 
@@ -126,6 +154,16 @@ type TreeNode struct {
 	Depth int
 	Label string
 	Out   int64
+	// DepthK is the node's depth of enumeration: tuples it consumed from
+	// its inputs (children's emitted counts; for leaves, tuples pulled
+	// from the base table). Rank-aware operators stopping early show a
+	// DepthK far below the input cardinality.
+	DepthK int64
+	// TimeNS is inclusive wall time (self + children) and Calls the
+	// number of Open/Next invocations; both are zero unless the
+	// execution ran with Context.Profile set.
+	TimeNS int64
+	Calls  int64
 }
 
 // SnapshotTree captures the tree's labels and counters; the operators are
@@ -134,16 +172,44 @@ type TreeNode struct {
 func SnapshotTree(op Operator) TreeSnapshot {
 	var ts TreeSnapshot
 	Walk(op, func(o Operator, d int) {
-		ts = append(ts, TreeNode{Depth: d, Label: o.Name(), Out: o.OutCount()})
+		n := TreeNode{Depth: d, Label: o.Name(), Out: o.OutCount()}
+		if kids := o.Children(); len(kids) > 0 {
+			for _, c := range kids {
+				n.DepthK += c.OutCount()
+			}
+		} else if p, ok := o.(profiled); ok {
+			_, _, n.DepthK = p.profCounters()
+		}
+		if p, ok := o.(profiled); ok {
+			n.TimeNS, n.Calls, _ = p.profCounters()
+		}
+		ts = append(ts, n)
 	})
 	return ts
 }
 
-// String renders the snapshot EXPLAIN-ANALYZE style.
+// Profiled reports whether the snapshot carries timing data.
+func (ts TreeSnapshot) Profiled() bool {
+	for _, n := range ts {
+		if n.Calls > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the snapshot EXPLAIN-ANALYZE style. The `out=` field is
+// always present; timing fields appear only for profiled executions.
 func (ts TreeSnapshot) String() string {
+	profiled := ts.Profiled()
 	var b strings.Builder
 	for _, n := range ts {
-		fmt.Fprintf(&b, "%s%s (out=%d)\n", strings.Repeat("  ", n.Depth), n.Label, n.Out)
+		fmt.Fprintf(&b, "%s%s (out=%d", strings.Repeat("  ", n.Depth), n.Label, n.Out)
+		if profiled {
+			fmt.Fprintf(&b, ", depth_k=%d, time=%.3fms, calls=%d",
+				n.DepthK, float64(n.TimeNS)/1e6, n.Calls)
+		}
+		b.WriteString(")\n")
 	}
 	return b.String()
 }

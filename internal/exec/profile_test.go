@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestProfileCounters: with Context.Profile set, every node of an
+// executed tree reports call counts, wall time, and depth-of-enumeration;
+// without it, the counters stay zero and the rendering keeps its compact
+// form.
+func TestProfileCounters(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	tbl := randTable(r, "T", 50, 10, 1)
+	spec := tableSpec("T", 1)
+
+	build := func() Operator {
+		rk, err := NewRank(NewSeqScan(tbl, "T"), spec.Preds[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewLimit(rk, 5)
+	}
+
+	// Profiled run.
+	ctx := NewContext(spec)
+	ctx.Profile = true
+	root := build()
+	out, err := Run(ctx, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("got %d rows, want 5", len(out))
+	}
+	ts := SnapshotTree(root)
+	if !ts.Profiled() {
+		t.Fatalf("snapshot not marked profiled: %+v", ts)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("tree has %d nodes, want 3", len(ts))
+	}
+	for _, n := range ts {
+		if n.Calls == 0 {
+			t.Errorf("node %s has zero calls", n.Label)
+		}
+		if n.TimeNS < 0 {
+			t.Errorf("node %s negative time", n.Label)
+		}
+	}
+	// limit(5) consumed 5 tuples from rank; rank's depth-k equals the
+	// scan's emitted count; the scan's depth-k equals tuples pulled from
+	// the base table (a full scan here: SeqScan has no early stop).
+	limit, rank, scan := ts[0], ts[1], ts[2]
+	if limit.Out != 5 || limit.DepthK != 5 {
+		t.Errorf("limit out=%d depth_k=%d, want 5/5", limit.Out, limit.DepthK)
+	}
+	if rank.DepthK != scan.Out {
+		t.Errorf("rank depth_k=%d, want scan out=%d", rank.DepthK, scan.Out)
+	}
+	if scan.DepthK != 50 {
+		t.Errorf("scan depth_k=%d, want 50 (full scan)", scan.DepthK)
+	}
+	// Inclusive timing: the root's wall time covers its children.
+	if limit.TimeNS < rank.TimeNS || rank.TimeNS < scan.TimeNS {
+		t.Errorf("inclusive times not monotone down the chain: %d %d %d",
+			limit.TimeNS, rank.TimeNS, scan.TimeNS)
+	}
+	rendered := ts.String()
+	for _, want := range []string{"out=", "depth_k=", "time=", "calls="} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("profiled rendering missing %q:\n%s", want, rendered)
+		}
+	}
+
+	// Unprofiled run: counters stay zero, rendering stays compact.
+	ctx2 := NewContext(spec)
+	root2 := build()
+	if _, err := Run(ctx2, root2); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := SnapshotTree(root2)
+	if ts2.Profiled() {
+		t.Fatalf("unprofiled snapshot claims timing data")
+	}
+	r2 := ts2.String()
+	if strings.Contains(r2, "time=") || strings.Contains(r2, "calls=") {
+		t.Errorf("unprofiled rendering carries timing fields:\n%s", r2)
+	}
+	if !strings.Contains(r2, "out=") {
+		t.Errorf("unprofiled rendering lost out=:\n%s", r2)
+	}
+	// Depth-k is derived from always-on counters, so it is still correct
+	// in the structured snapshot even without profiling.
+	if ts2[0].DepthK != 5 {
+		t.Errorf("unprofiled limit depth_k=%d, want 5", ts2[0].DepthK)
+	}
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"ranksql/internal/rank"
 	"ranksql/internal/schema"
@@ -43,6 +44,9 @@ func NewRank(child Operator, pred *rank.Predicate) (*Rank, error) {
 
 // Open implements Operator.
 func (r *Rank) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer r.prof(time.Now())
+	}
 	r.reset()
 	r.queue = tupleHeap{}
 	r.childDone = false
@@ -52,6 +56,9 @@ func (r *Rank) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (r *Rank) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer r.prof(time.Now())
+	}
 	for {
 		if err := ctx.interrupted(); err != nil {
 			return nil, err

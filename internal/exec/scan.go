@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"ranksql/internal/btree"
 	"ranksql/internal/catalog"
@@ -44,6 +45,9 @@ func NewSeqScan(table *storage.Table, alias string) *SeqScan {
 
 // Open implements Operator.
 func (s *SeqScan) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	s.tid = 0
 	s.reset()
 	s.ceiling = ctx.Spec.CeilingScore()
@@ -53,6 +57,9 @@ func (s *SeqScan) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (s *SeqScan) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	if err := ctx.interrupted(); err != nil {
 		return nil, err
 	}
@@ -64,6 +71,7 @@ func (s *SeqScan) Next(ctx *Context) (*schema.Tuple, error) {
 	t.Score = s.ceiling
 	s.tid++
 	ctx.Stats.TuplesScanned++
+	s.scanned()
 	return s.emit(t), nil
 }
 
@@ -121,6 +129,9 @@ func NewRankScan(table *storage.Table, alias string, pred *rank.Predicate, index
 
 // Open implements Operator.
 func (s *RankScan) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	s.reset()
 	s.npreds = ctx.Spec.N()
 	s.pos = 0
@@ -147,6 +158,9 @@ func (s *RankScan) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (s *RankScan) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	for {
 		if err := ctx.interrupted(); err != nil {
 			return nil, err
@@ -170,6 +184,7 @@ func (s *RankScan) Next(ctx *Context) (*schema.Tuple, error) {
 			s.pos++
 		}
 		ctx.Stats.TuplesScanned++
+		s.scanned()
 		if s.cond != nil {
 			ctx.Stats.Comparisons++
 			ok, err := expr.EvalBool(s.cond, t)
@@ -247,6 +262,9 @@ func (s *IdxScanCol) SortColumn() string { return s.column }
 
 // Open implements Operator.
 func (s *IdxScanCol) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	s.reset()
 	s.npreds = ctx.Spec.N()
 	s.ceiling = ctx.Spec.CeilingScore()
@@ -272,6 +290,9 @@ func (s *IdxScanCol) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (s *IdxScanCol) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	for {
 		if err := ctx.interrupted(); err != nil {
 			return nil, err
@@ -293,6 +314,7 @@ func (s *IdxScanCol) Next(ctx *Context) (*schema.Tuple, error) {
 			s.pos++
 		}
 		ctx.Stats.TuplesScanned++
+		s.scanned()
 		if s.cond != nil {
 			ctx.Stats.Comparisons++
 			ok, err := expr.EvalBool(s.cond, t)
@@ -347,15 +369,26 @@ func NewStaticSource(label string, sch *schema.Schema, eval schema.Bitset, tuple
 }
 
 // Open implements Operator.
-func (s *StaticSource) Open(*Context) error { s.pos = 0; s.reset(); return nil }
+func (s *StaticSource) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
+	s.pos = 0
+	s.reset()
+	return nil
+}
 
 // Next implements Operator.
 func (s *StaticSource) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	if s.pos >= len(s.tuples) {
 		return nil, nil
 	}
 	t := s.tuples[s.pos]
 	s.pos++
+	s.scanned()
 	return s.emit(t), nil
 }
 

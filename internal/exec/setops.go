@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"ranksql/internal/schema"
 )
@@ -189,6 +190,9 @@ func NewRankUnion(left, right Operator) (*RankUnion, error) {
 
 // Open implements Operator.
 func (u *RankUnion) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer u.prof(time.Now())
+	}
 	u.queue = tupleHeap{}
 	u.seen = map[string]bool{}
 	return u.openBase(ctx)
@@ -196,6 +200,9 @@ func (u *RankUnion) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (u *RankUnion) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer u.prof(time.Now())
+	}
 	for {
 		if err := ctx.interrupted(); err != nil {
 			return nil, err
@@ -271,6 +278,9 @@ func NewRankIntersect(left, right Operator) (*RankIntersect, error) {
 
 // Open implements Operator.
 func (x *RankIntersect) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer x.prof(time.Now())
+	}
 	x.queue = tupleHeap{}
 	x.pending = map[string]*pendingEntry{}
 	x.emitted = map[string]bool{}
@@ -290,6 +300,9 @@ func (x *RankIntersect) otherSideBound(ctx *Context, t *schema.Tuple, fromLeft b
 
 // Next implements Operator.
 func (x *RankIntersect) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer x.prof(time.Now())
+	}
 	for {
 		if err := ctx.interrupted(); err != nil {
 			return nil, err
@@ -399,6 +412,9 @@ func NewRankDiff(left, right Operator) (*RankDiff, error) {
 
 // Open implements Operator.
 func (d *RankDiff) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer d.prof(time.Now())
+	}
 	d.fifo = nil
 	d.innerKey = map[string]bool{}
 	d.outerKey = map[string]bool{}
@@ -407,6 +423,9 @@ func (d *RankDiff) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (d *RankDiff) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer d.prof(time.Now())
+	}
 	for {
 		if err := ctx.interrupted(); err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"ranksql/internal/schema"
 	"ranksql/internal/types"
@@ -31,6 +32,9 @@ func NewSortScore(child Operator) *SortScore {
 
 // Open implements Operator.
 func (s *SortScore) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	s.reset()
 	s.buf = nil
 	s.pos = 0
@@ -94,6 +98,9 @@ func (s *SortScore) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (s *SortScore) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	if s.pos >= len(s.buf) {
 		return nil, nil
 	}
@@ -151,6 +158,9 @@ func (s *SortColumn) SortedBy() int { return s.colIdx }
 
 // Open implements Operator.
 func (s *SortColumn) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	s.reset()
 	s.buf = nil
 	s.pos = 0
@@ -181,6 +191,9 @@ func (s *SortColumn) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (s *SortColumn) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer s.prof(time.Now())
+	}
 	if s.pos >= len(s.buf) {
 		return nil, nil
 	}
@@ -232,6 +245,9 @@ func NewLimit(child Operator, k int) *Limit {
 
 // Open implements Operator.
 func (l *Limit) Open(ctx *Context) error {
+	if ctx.Profile {
+		defer l.prof(time.Now())
+	}
 	l.reset()
 	l.n = 0
 	return l.child.Open(ctx)
@@ -239,6 +255,9 @@ func (l *Limit) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (l *Limit) Next(ctx *Context) (*schema.Tuple, error) {
+	if ctx.Profile {
+		defer l.prof(time.Now())
+	}
 	if l.n >= l.K {
 		return nil, nil
 	}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite histogram buckets; one extra
+// overflow bucket (+Inf) follows. Bucket i covers values up to
+// BucketUpperBound(i): powers of two starting at 1µs, so the finite
+// range spans 1µs .. ~33s — wide enough for any query latency the
+// engine can produce without interruption.
+const NumBuckets = 25
+
+// bucketBase is the upper bound of bucket 0, in seconds.
+const bucketBase = 1e-6
+
+// BucketUpperBound returns the inclusive upper bound of bucket i in
+// seconds. The final index (NumBuckets) is the +Inf overflow bucket.
+func BucketUpperBound(i int) float64 {
+	if i >= NumBuckets {
+		return math.Inf(1)
+	}
+	return bucketBase * float64(uint64(1)<<uint(i))
+}
+
+// bucketIndex maps a value (seconds) to its bucket.
+func bucketIndex(v float64) int {
+	if v <= bucketBase {
+		return 0
+	}
+	// ceil(log2(v/base)) without math.Log2's edge jitter: walk the
+	// doubling bounds. 25 iterations max; observation cost is dominated
+	// by the atomic add anyway.
+	bound := bucketBase
+	for i := 0; i < NumBuckets; i++ {
+		if v <= bound {
+			return i
+		}
+		bound *= 2
+	}
+	return NumBuckets
+}
+
+// Histogram is a fixed-layout log-bucketed histogram safe for concurrent
+// observation. Values are float64 (conventionally seconds); counts and
+// the running sum are atomics, so Observe never takes a lock.
+type Histogram struct {
+	counts [NumBuckets + 1]atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	total  atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// snapshot returns per-bucket counts, the value sum, and the total count.
+func (h *Histogram) snapshot() (counts [NumBuckets + 1]uint64, sum float64, total uint64) {
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, math.Float64frombits(h.sum.Load()), h.total.Load()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns the average observed value, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by walking the
+// cumulative bucket counts and interpolating linearly within the bucket
+// that crosses the target rank. The estimate is bounded by the bucket
+// edges, so error is at most one bucket width (a factor of 2 at log-2
+// resolution). Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = BucketUpperBound(i - 1)
+			}
+			upper := BucketUpperBound(i)
+			if math.IsInf(upper, 1) {
+				// Overflow bucket has no finite width; report its floor.
+				return lower
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(upper-lower)
+		}
+		cum = next
+	}
+	return BucketUpperBound(NumBuckets - 1)
+}
+
+// Summary bundles the standard latency percentiles, in milliseconds —
+// the shape both /stats JSON and bench reports embed.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// Summarize extracts count/mean/p50/p95/p99 with values converted from
+// seconds to milliseconds.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.Count(),
+		MeanMS: h.Mean() * 1e3,
+		P50MS:  h.Quantile(0.50) * 1e3,
+		P95MS:  h.Quantile(0.95) * 1e3,
+		P99MS:  h.Quantile(0.99) * 1e3,
+	}
+}

@@ -2,10 +2,13 @@ package router
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"time"
+
+	"ranksql/internal/obs"
 )
 
 // shardClient is the router's connection to one ranksqld backend. All
@@ -32,12 +35,26 @@ type shardQueryResponse struct {
 	Error     string          `json:"error"`
 }
 
-func (sc *shardClient) postJSON(path string, req interface{}, out interface{}) error {
+// postJSON posts a JSON body to the shard, carrying the query context
+// (so a router-side deadline cancels the in-flight shard call) and the
+// trace ID header when one is set.
+func (sc *shardClient) postJSON(ctx context.Context, path, trace string, req interface{}, out interface{}) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, err := sc.http.Post(sc.base+path, "application/json", bytes.NewReader(body))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, sc.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		hreq.Header.Set(obs.TraceHeader, trace)
+	}
+	resp, err := sc.http.Do(hreq)
 	if err != nil {
 		return err
 	}
@@ -47,12 +64,12 @@ func (sc *shardClient) postJSON(path string, req interface{}, out interface{}) e
 
 // prepare registers a statement in the shard's default session and
 // returns its id.
-func (sc *shardClient) prepare(sqlText string) (string, error) {
+func (sc *shardClient) prepare(ctx context.Context, sqlText string) (string, error) {
 	var out struct {
 		StmtID string `json:"stmt_id"`
 		Error  string `json:"error"`
 	}
-	if err := sc.postJSON("/prepare", map[string]interface{}{"sql": sqlText}, &out); err != nil {
+	if err := sc.postJSON(ctx, "/prepare", "", map[string]interface{}{"sql": sqlText}, &out); err != nil {
 		return "", err
 	}
 	if out.Error != "" {
@@ -62,9 +79,9 @@ func (sc *shardClient) prepare(sqlText string) (string, error) {
 }
 
 // query runs a SELECT (prepared or ad-hoc) on the shard.
-func (sc *shardClient) query(req *request) (*shardQueryResponse, error) {
+func (sc *shardClient) query(ctx context.Context, trace string, req *request) (*shardQueryResponse, error) {
 	var out shardQueryResponse
-	if err := sc.postJSON("/query", req, &out); err != nil {
+	if err := sc.postJSON(ctx, "/query", trace, req, &out); err != nil {
 		return nil, err
 	}
 	if out.Error != "" {
@@ -79,7 +96,7 @@ func (sc *shardClient) exec(sqlText string) (int, error) {
 		RowsAffected int    `json:"rows_affected"`
 		Error        string `json:"error"`
 	}
-	if err := sc.postJSON("/exec", map[string]interface{}{"sql": sqlText}, &out); err != nil {
+	if err := sc.postJSON(nil, "/exec", "", map[string]interface{}{"sql": sqlText}, &out); err != nil {
 		return 0, err
 	}
 	if out.Error != "" {

@@ -28,13 +28,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"ranksql/internal/obs"
 	"ranksql/internal/sql"
 	"ranksql/internal/types"
 )
@@ -44,6 +47,9 @@ type Router struct {
 	shards  []*shardClient
 	logf    func(format string, args ...interface{})
 	metrics *metrics
+	tracer  *slog.Logger
+	slow    time.Duration
+	pprof   bool
 
 	mu        sync.Mutex
 	tables    map[string]*tableInfo
@@ -79,6 +85,27 @@ func WithHTTPClient(c *http.Client) Option {
 	}
 }
 
+// WithTraceLogger sets the structured logger query traces are written
+// to: one Debug record per merged query (trace ID, template, per-span
+// timings including per-shard fetch rounds) and one Warn record per
+// slow query. Default slog.Default().
+func WithTraceLogger(l *slog.Logger) Option {
+	return func(r *Router) { r.tracer = l }
+}
+
+// WithSlowQueryThreshold enables the slow-query log: merged queries
+// taking longer than d are counted and logged at Warn with their span
+// breakdown. d <= 0 disables it (the default).
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(r *Router) { r.slow = d }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the router's
+// handler.
+func WithPprof() Option {
+	return func(r *Router) { r.pprof = true }
+}
+
 // New builds a Router over the given shard base URLs (http://host:port).
 func New(shardURLs []string, opts ...Option) (*Router, error) {
 	if len(shardURLs) == 0 {
@@ -88,6 +115,7 @@ func New(shardURLs []string, opts ...Option) (*Router, error) {
 	r := &Router{
 		logf:      log.Printf,
 		metrics:   newMetrics(),
+		tracer:    slog.Default(),
 		tables:    map[string]*tableInfo{},
 		templates: map[string]*template{},
 		stmts:     map[string]*template{},
@@ -124,9 +152,20 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/exec", r.post(r.handleExec))
 	mux.HandleFunc("/load", r.handleLoad)
 	mux.HandleFunc("/stats", r.handleStats)
+	mux.Handle("/metrics", obs.Handler(r.metrics.reg))
 	mux.HandleFunc("/healthz", r.handleHealthz)
+	if r.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
+
+// Registry exposes the router's metrics registry (tests and embedders).
+func (r *Router) Registry() *obs.Registry { return r.metrics.reg }
 
 // Serve listens on addr and serves until ctx is cancelled, then shuts
 // down gracefully (mirrors server.Serve).
@@ -169,6 +208,11 @@ type request struct {
 	StmtID       string        `json:"stmt_id,omitempty"`
 	Params       []interface{} `json:"params,omitempty"`
 	PartitionKey string        `json:"partition_key,omitempty"`
+	// DeadlineMS is a per-request execution budget in milliseconds,
+	// enforced at the router and forwarded to each shard fetch with the
+	// remaining budget. Expiry fails the request with 504 and counts as
+	// a distinct timeout metric.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 type errorResponse struct {
@@ -424,6 +468,7 @@ type queryResponse struct {
 	Stats     queryStats      `json:"stats"`
 	Merge     mergeInfo       `json:"merge"`
 	ElapsedMS float64         `json:"elapsed_ms"`
+	TraceID   string          `json:"trace_id,omitempty"`
 }
 
 // perShardK picks the initial per-shard fetch depth for a client top-k:
@@ -441,13 +486,21 @@ func perShardK(k, nShards int) int {
 	return n
 }
 
-func (r *Router) handleQuery(w http.ResponseWriter, _ *http.Request, req *request) {
+func (r *Router) handleQuery(w http.ResponseWriter, hr *http.Request, req *request) {
+	// The trace ID is minted here (or propagated from an upstream
+	// caller) and travels to every shard fetch via the X-Ranksql-Trace
+	// header, so one merged query correlates across the whole cluster.
+	trace := obs.NewTrace(obs.TraceIDFrom(hr))
+	w.Header().Set(obs.TraceHeader, trace.ID)
+
+	endPlan := trace.StartSpan("plan")
 	t, code, err := r.resolveTemplate(req)
 	if err != nil {
 		r.metrics.recordError("")
 		writeJSON(w, code, errorResponse{err.Error()})
 		return
 	}
+	endPlan()
 	if t.sel == nil {
 		r.metrics.recordError(t.norm)
 		writeJSON(w, http.StatusBadRequest, errorResponse{"statement is not a query; use /exec"})
@@ -469,15 +522,34 @@ func (r *Router) handleQuery(w http.ResponseWriter, _ *http.Request, req *reques
 		}
 	}
 
+	ctx := hr.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
 	streams := make([]Stream, len(r.shards))
 	hs := make([]*httpStream, len(r.shards))
 	for i, sc := range r.shards {
-		hs[i] = &httpStream{r: r, sc: sc, t: t, params: req.Params}
+		hs[i] = &httpStream{r: r, sc: sc, t: t, params: req.Params, ctx: ctx, trace: trace}
 		streams[i] = hs[i]
 	}
 	start := time.Now()
+	endMerge := trace.StartSpan("merge")
 	merged, err := MergeTopK(streams, k, perShardK(k, len(r.shards)))
+	endMerge()
 	if err != nil {
+		if ctx.Err() != nil && hr.Context().Err() == nil {
+			// The per-request deadline_ms budget expired while shards were
+			// still fetching; the client gets a distinct timeout error.
+			r.metrics.recordTimeout()
+			r.metrics.recordError(t.norm)
+			r.tracer.Warn("query deadline exceeded",
+				"trace", trace.ID, "query", t.norm, "deadline_ms", req.DeadlineMS)
+			writeJSON(w, http.StatusGatewayTimeout,
+				errorResponse{fmt.Sprintf("query exceeded deadline_ms=%d", req.DeadlineMS)})
+			return
+		}
 		r.metrics.recordError(t.norm)
 		writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
 		return
@@ -515,8 +587,21 @@ func (r *Router) handleQuery(w http.ResponseWriter, _ *http.Request, req *reques
 		resp.Stats.add(s.stats)
 		resp.Merge.RowsFetched += len(s.rows)
 	}
+	resp.TraceID = trace.ID
 	r.metrics.recordQuery(t.norm, elapsed, len(merged.Rows), resp.Merge.RowsFetched,
 		len(merged.Pruned), merged.Refills)
+	attrs := append([]any{
+		"trace", trace.ID, "query", t.norm,
+		"elapsed_ms", float64(elapsed) / float64(time.Millisecond),
+		"rows", len(merged.Rows), "rows_fetched", resp.Merge.RowsFetched,
+		"shards_pruned", len(merged.Pruned), "refills", merged.Refills,
+	}, trace.SpanAttrs()...)
+	if r.slow > 0 && elapsed >= r.slow {
+		r.metrics.slow.Inc()
+		r.tracer.Warn("slow query", attrs...)
+	} else {
+		r.tracer.Debug("query", attrs...)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -528,12 +613,15 @@ type httpStream struct {
 	sc     *shardClient
 	t      *template
 	params []interface{}
+	ctx    context.Context
+	trace  *obs.Trace
 
 	rows        [][]interface{}
 	scores      []float64
 	columns     []string
 	exhausted   bool
 	fetched     bool
+	rounds      int
 	allCacheHit bool
 	stats       queryStats
 }
@@ -552,7 +640,25 @@ func (s *httpStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
 			params = append(params, n)
 		}
 	}
-	resp, err := s.r.queryShard(s.sc, s.t, params)
+	// Forward the remaining deadline budget (if any) so the shard cuts
+	// its own execution off rather than relying on the dropped
+	// connection alone.
+	deadlineMS := 0
+	if dl, ok := s.ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return nil, nil, false, s.ctx.Err()
+		}
+		if deadlineMS = int(rem / time.Millisecond); deadlineMS == 0 {
+			deadlineMS = 1
+		}
+	}
+	start := time.Now()
+	resp, err := s.r.queryShard(s.ctx, s.sc, s.t, params, s.trace.ID, deadlineMS)
+	s.rounds++
+	if s.trace != nil {
+		s.trace.AddSpan(fmt.Sprintf("shard%d_fetch%d", s.sc.id, s.rounds), start, time.Now())
+	}
 	if err != nil {
 		return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.base, err)
 	}
@@ -584,16 +690,16 @@ func stmtLost(err error) bool {
 // statement state (restart) falls back to ad-hoc SQL; any other error —
 // deterministic engine failures included — is returned as-is rather
 // than paying a doomed second execution.
-func (r *Router) queryShard(sc *shardClient, t *template, params []interface{}) (*shardQueryResponse, error) {
+func (r *Router) queryShard(ctx context.Context, sc *shardClient, t *template, params []interface{}, trace string, deadlineMS int) (*shardQueryResponse, error) {
 	id := t.sel.shardStmt(sc.id)
 	if id == "" && t.sel.shareable() {
-		if newID, err := sc.prepare(t.sel.fetchSQL); err == nil {
+		if newID, err := sc.prepare(ctx, t.sel.fetchSQL); err == nil {
 			t.sel.setShardStmt(sc.id, newID)
 			id = newID
 		}
 	}
 	if id != "" {
-		resp, err := sc.query(&request{StmtID: id, Params: params})
+		resp, err := sc.query(ctx, trace, &request{StmtID: id, Params: params, DeadlineMS: deadlineMS})
 		if err == nil {
 			return resp, nil
 		}
@@ -602,7 +708,7 @@ func (r *Router) queryShard(sc *shardClient, t *template, params []interface{}) 
 		}
 		t.sel.setShardStmt(sc.id, "")
 	}
-	return sc.query(&request{SQL: t.sel.fetchSQL, Params: params})
+	return sc.query(ctx, trace, &request{SQL: t.sel.fetchSQL, Params: params, DeadlineMS: deadlineMS})
 }
 
 func (r *Router) handleExec(w http.ResponseWriter, _ *http.Request, req *request) {

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ranksql/internal/obs"
 )
 
 // maxTemplates bounds the per-template metrics map (ad-hoc literal SQL
@@ -13,25 +15,29 @@ const (
 	overflowTemplate = "(other templates)"
 )
 
-// metrics aggregates router-wide and per-template merge counters.
+// metrics aggregates router-wide and per-template merge counters. The
+// scalar counters and the latency histogram live in an obs.Registry so
+// the same values back both /metrics (Prometheus) and /stats (JSON);
+// the per-template map stays under a mutex.
 type metrics struct {
-	mu      sync.Mutex
-	started time.Time
-
-	queries uint64
-	execs   uint64
-	loads   uint64
-	errors  uint64
-
-	querySum time.Duration
+	reg      *obs.Registry
+	queries  *obs.Counter
+	execs    *obs.Counter
+	loads    *obs.Counter
+	errors   *obs.Counter
+	timeouts *obs.Counter   // queries cut off by a deadline_ms budget
+	slow     *obs.Counter   // queries over the slow-query threshold
+	latency  *obs.Histogram // merged-query wall time, seconds
 
 	// Threshold-merge effectiveness counters.
-	queriesWithPruned uint64
-	shardsPruned      uint64
-	refills           uint64
-	rowsFetched       uint64
-	rowsReturned      uint64
+	queriesWithPruned *obs.Counter
+	shardsPruned      *obs.Counter
+	refills           *obs.Counter
+	rowsFetched       *obs.Counter
+	rowsReturned      *obs.Counter
 
+	mu       sync.Mutex
+	started  time.Time
 	perQuery map[string]*templateMetrics
 }
 
@@ -49,22 +55,48 @@ type templateMetrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{started: time.Now(), perQuery: map[string]*templateMetrics{}}
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:      reg,
+		queries:  reg.Counter("ranksql_router_queries_total", "Merged top-k queries served."),
+		execs:    reg.Counter("ranksql_router_execs_total", "DDL/DML statements fanned out."),
+		loads:    reg.Counter("ranksql_router_loads_total", "CSV loads partitioned across shards."),
+		errors:   reg.Counter("ranksql_router_errors_total", "Requests that failed."),
+		timeouts: reg.Counter("ranksql_router_timeouts_total", "Queries aborted by a per-request deadline_ms budget."),
+		slow:     reg.Counter("ranksql_router_slow_queries_total", "Queries slower than the slow-query threshold."),
+		latency:  reg.Histogram("ranksql_router_query_duration_seconds", "Merged-query wall time."),
+		queriesWithPruned: reg.Counter("ranksql_router_queries_with_pruned_shards_total",
+			"Queries where the threshold bound let the merge skip draining at least one shard."),
+		shardsPruned: reg.Counter("ranksql_router_shards_pruned_total",
+			"Shard streams skipped entirely by the threshold bound."),
+		refills: reg.Counter("ranksql_router_refills_total",
+			"Prefix-doubling refetch rounds issued to shards."),
+		rowsFetched: reg.Counter("ranksql_router_rows_fetched_total",
+			"Rows fetched from shards."),
+		rowsReturned: reg.Counter("ranksql_router_rows_returned_total",
+			"Merged rows returned to clients."),
+		started:  time.Now(),
+		perQuery: map[string]*templateMetrics{},
+	}
+	reg.GaugeFunc("ranksql_router_uptime_seconds", "Seconds since the router started.",
+		func() float64 { return time.Since(m.started).Seconds() })
+	return m
 }
 
 // recordQuery aggregates one merged top-k query.
 func (m *metrics) recordQuery(norm string, d time.Duration, returned, fetched, pruned, refills int) {
+	m.queries.Inc()
+	m.latency.ObserveDuration(d)
+	if pruned > 0 {
+		m.queriesWithPruned.Inc()
+	}
+	m.shardsPruned.Add(uint64(pruned))
+	m.refills.Add(uint64(refills))
+	m.rowsFetched.Add(uint64(fetched))
+	m.rowsReturned.Add(uint64(returned))
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.queries++
-	m.querySum += d
-	if pruned > 0 {
-		m.queriesWithPruned++
-	}
-	m.shardsPruned += uint64(pruned)
-	m.refills += uint64(refills)
-	m.rowsFetched += uint64(fetched)
-	m.rowsReturned += uint64(returned)
 	t := m.templateLocked(norm)
 	t.Count++
 	t.RowsReturned += uint64(returned)
@@ -74,26 +106,23 @@ func (m *metrics) recordQuery(norm string, d time.Duration, returned, fetched, p
 	t.totalMS += float64(d) / float64(time.Millisecond)
 }
 
-func (m *metrics) recordExec() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.execs++
-}
+func (m *metrics) recordExec() { m.execs.Inc() }
 
-func (m *metrics) recordLoad() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.loads++
-}
+func (m *metrics) recordLoad() { m.loads.Inc() }
 
 func (m *metrics) recordError(norm string) {
+	m.errors.Inc()
+	if norm == "" {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.errors++
-	if norm != "" {
-		m.templateLocked(norm).Errors++
-	}
+	m.templateLocked(norm).Errors++
 }
+
+// recordTimeout counts a query aborted by its deadline_ms budget (the
+// error itself is counted by recordError).
+func (m *metrics) recordTimeout() { m.timeouts.Inc() }
 
 func (m *metrics) templateLocked(norm string) *templateMetrics {
 	t := m.perQuery[norm]
@@ -131,7 +160,12 @@ type Snapshot struct {
 	Execs         uint64  `json:"execs"`
 	Loads         uint64  `json:"loads"`
 	Errors        uint64  `json:"errors"`
+	Timeouts      uint64  `json:"timeouts"`
+	SlowQueries   uint64  `json:"slow_queries"`
 	AvgQueryMS    float64 `json:"avg_query_ms"`
+	// Latency summarizes the merged-query latency histogram (the same
+	// one /metrics exposes bucket by bucket).
+	Latency obs.Summary `json:"latency"`
 
 	// Threshold-merge effectiveness: how often the per-shard bound let
 	// the router skip draining shards, and how much it over-fetched.
@@ -149,26 +183,28 @@ type Snapshot struct {
 }
 
 func (m *metrics) snapshot() Snapshot {
+	snap := Snapshot{
+		Queries:                 m.queries.Value(),
+		Execs:                   m.execs.Value(),
+		Loads:                   m.loads.Value(),
+		Errors:                  m.errors.Value(),
+		Timeouts:                m.timeouts.Value(),
+		SlowQueries:             m.slow.Value(),
+		Latency:                 m.latency.Summarize(),
+		QueriesWithPrunedShards: m.queriesWithPruned.Value(),
+		ShardsPrunedTotal:       m.shardsPruned.Value(),
+		RefillsTotal:            m.refills.Value(),
+		RowsFetchedTotal:        m.rowsFetched.Value(),
+		RowsReturnedTotal:       m.rowsReturned.Value(),
+	}
+	snap.AvgQueryMS = snap.Latency.MeanMS
+	if snap.RowsReturnedTotal > 0 {
+		snap.FetchAmplification = float64(snap.RowsFetchedTotal) / float64(snap.RowsReturnedTotal)
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	snap := Snapshot{
-		UptimeSeconds:           time.Since(m.started).Seconds(),
-		Queries:                 m.queries,
-		Execs:                   m.execs,
-		Loads:                   m.loads,
-		Errors:                  m.errors,
-		QueriesWithPrunedShards: m.queriesWithPruned,
-		ShardsPrunedTotal:       m.shardsPruned,
-		RefillsTotal:            m.refills,
-		RowsFetchedTotal:        m.rowsFetched,
-		RowsReturnedTotal:       m.rowsReturned,
-	}
-	if m.queries > 0 {
-		snap.AvgQueryMS = float64(m.querySum) / float64(time.Millisecond) / float64(m.queries)
-	}
-	if m.rowsReturned > 0 {
-		snap.FetchAmplification = float64(m.rowsFetched) / float64(m.rowsReturned)
-	}
+	snap.UptimeSeconds = time.Since(m.started).Seconds()
 	for norm, t := range m.perQuery {
 		row := TemplateStats{Query: norm, templateMetrics: *t}
 		if t.Count > 0 {

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ranksql"
+	"ranksql/internal/obs"
+)
+
+// TestMetricsEndpoint: /metrics serves the registry in Prometheus text
+// format, with the query counters and the latency histogram present
+// after traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 100)
+	for i := 0; i < 3; i++ {
+		var qr testQueryResponse
+		if code := postJSON(t, ts.URL+"/query", map[string]interface{}{
+			"sql": testQuerySQL, "params": []interface{}{400.0, 5},
+		}, &qr); code != http.StatusOK {
+			t.Fatalf("query status %d: %s", code, qr.Error)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE ranksqld_queries_total counter",
+		"ranksqld_queries_total 3",
+		"ranksqld_query_duration_seconds_bucket{le=",
+		"ranksqld_query_duration_seconds_count 3",
+		"ranksqld_sessions",
+		"ranksqld_plan_cache_entries",
+		"ranksqld_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDeadlineMS: a query that cannot finish inside its deadline_ms
+// budget fails with 504 and is counted as a timeout, distinct from
+// ordinary errors in kind.
+func TestDeadlineMS(t *testing.T) {
+	s, ts := newTestServer(t, 2000)
+	s.DB().SetSpin(200000) // make scorer evaluation genuinely slow
+
+	var qr testQueryResponse
+	code := postJSON(t, ts.URL+"/query", map[string]interface{}{
+		"sql": testQuerySQL, "params": []interface{}{400.0, 50}, "deadline_ms": 1,
+	}, &qr)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (err=%q)", code, qr.Error)
+	}
+	if !strings.Contains(qr.Error, "deadline_ms") {
+		t.Errorf("error %q should name the deadline", qr.Error)
+	}
+
+	s.DB().SetSpin(0)
+	// A generous deadline does not interfere with a fast query.
+	code = postJSON(t, ts.URL+"/query", map[string]interface{}{
+		"sql": testQuerySQL, "params": []interface{}{400.0, 5}, "deadline_ms": 60000,
+	}, &qr)
+	if code != http.StatusOK {
+		t.Fatalf("status with slack deadline = %d: %s", code, qr.Error)
+	}
+
+	var stats Snapshot
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", stats.Timeouts)
+	}
+	if stats.Errors != 1 {
+		t.Errorf("errors = %d, want 1 (the timeout also counts as an error)", stats.Errors)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing slog output
+// written from HTTP handler goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+// TestSlowQueryLogAndTrace: with a zero-ish slow threshold every query
+// lands in the slow-query log at Warn, carrying the propagated trace ID
+// and per-span timings; the response echoes the trace ID in both the
+// header and the body.
+func TestSlowQueryLogAndTrace(t *testing.T) {
+	db := ranksql.Open()
+	if err := SeedWebshop(db, 100); err != nil {
+		t.Fatal(err)
+	}
+	var buf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	s := New(db,
+		WithLogger(discardLog),
+		WithTraceLogger(logger),
+		WithSlowQueryThreshold(time.Nanosecond))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const traceID = "deadbeef01234567"
+	body, _ := json.Marshal(map[string]interface{}{
+		"sql": testQuerySQL, "params": []interface{}{400.0, 5},
+	})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+	req.Header.Set(obs.TraceHeader, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != traceID {
+		t.Errorf("response trace header = %q, want %q", got, traceID)
+	}
+	var qr struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.TraceID != traceID {
+		t.Errorf("trace_id = %q, want %q", qr.TraceID, traceID)
+	}
+
+	logged := buf.String()
+	if !strings.Contains(logged, "slow query") {
+		t.Errorf("slow-query log missing:\n%s", logged)
+	}
+	if !strings.Contains(logged, traceID) {
+		t.Errorf("log does not carry the trace ID:\n%s", logged)
+	}
+	for _, span := range []string{"resolve", "execute"} {
+		if !strings.Contains(logged, span) {
+			t.Errorf("log missing %q span:\n%s", span, logged)
+		}
+	}
+
+	var stats Snapshot
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SlowQueries != 1 {
+		t.Errorf("slow_queries = %d, want 1", stats.SlowQueries)
+	}
+}
+
+// TestStatsOperatorProfiles: the engine samples per-operator profiling
+// (every execution here, with sampling set to 1), and /stats surfaces
+// the per-template operator breakdown with rows, depth-k and time.
+func TestStatsOperatorProfiles(t *testing.T) {
+	s, ts := newTestServer(t, 200)
+	s.DB().SetProfileSampling(1)
+	for i := 0; i < 3; i++ {
+		var qr testQueryResponse
+		if code := postJSON(t, ts.URL+"/query", map[string]interface{}{
+			"sql": testQuerySQL, "params": []interface{}{400.0, 5},
+		}, &qr); code != http.StatusOK {
+			t.Fatalf("query status %d: %s", code, qr.Error)
+		}
+	}
+	var stats Snapshot
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.PerQuery) == 0 {
+		t.Fatal("no per-query stats")
+	}
+	ops := stats.PerQuery[0].Operators
+	if len(ops) == 0 {
+		t.Fatal("no operator profile on the hot template")
+	}
+	if ops[0].Depth != 0 {
+		t.Errorf("first operator depth = %d, want 0 (pre-order root)", ops[0].Depth)
+	}
+	var sawScan bool
+	for _, o := range ops {
+		if o.Samples != 3 {
+			t.Errorf("operator %s samples = %d, want 3", o.Op, o.Samples)
+		}
+		if o.AvgTimeMS < 0 {
+			t.Errorf("operator %s negative avg time", o.Op)
+		}
+		if strings.Contains(strings.ToLower(o.Op), "scan") {
+			sawScan = true
+			if o.AvgDepthK <= 0 {
+				t.Errorf("scan %s depth-k = %v, want > 0", o.Op, o.AvgDepthK)
+			}
+		}
+	}
+	if !sawScan {
+		t.Errorf("no scan operator in profile: %+v", ops)
+	}
+}
+
+// TestExplainAnalyzeOverHTTP: EXPLAIN ANALYZE flows through the query
+// protocol unchanged, returning the rendered plan with runtime fields.
+func TestExplainAnalyzeOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, 100)
+	var qr testQueryResponse
+	code := postJSON(t, ts.URL+"/query", map[string]interface{}{
+		"sql":    "EXPLAIN ANALYZE " + testQuerySQL,
+		"params": []interface{}{400.0, 5},
+	}, &qr)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, qr.Error)
+	}
+	if len(qr.Columns) != 1 || qr.Columns[0] != "QUERY PLAN" {
+		t.Fatalf("columns = %v", qr.Columns)
+	}
+	var text strings.Builder
+	for _, row := range qr.Rows {
+		text.WriteString(row[0].(string))
+		text.WriteString("\n")
+	}
+	for _, want := range []string{"out=", "depth_k=", "time=", "calls="} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("analyze output missing %q:\n%s", want, text.String())
+		}
+	}
+}

@@ -19,10 +19,14 @@
 //	POST /exec           {sql | stmt_id [+session_id], params?} -> {rows_affected, message}
 //	POST /load?table=t&header=0|1  (CSV body)              -> {rows_loaded}
 //	GET  /stats                                            -> Snapshot
+//	GET  /metrics                                          -> Prometheus text format
 //	GET  /healthz                                          -> {status: "ok"}
 //
 // Parameters bind positionally to `?` placeholders; JSON numbers without
-// a fractional part bind as integers, with one as floats.
+// a fractional part bind as integers, with one as floats. Query requests
+// may carry deadline_ms (a server-enforced execution budget) and an
+// X-Ranksql-Trace header (a propagated trace ID; one is minted when
+// absent).
 package server
 
 import (
@@ -32,13 +36,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"ranksql"
+	"ranksql/internal/obs"
 )
 
 // Server is the ranksqld HTTP query service.
@@ -47,6 +54,9 @@ type Server struct {
 	sessions *sessionTable
 	metrics  *metrics
 	logf     func(format string, args ...interface{})
+	tracer   *slog.Logger
+	slow     time.Duration
+	pprof    bool
 }
 
 // Option configures a Server.
@@ -55,6 +65,26 @@ type Option func(*Server)
 // WithLogger replaces the server's log function (default log.Printf).
 func WithLogger(logf func(format string, args ...interface{})) Option {
 	return func(s *Server) { s.logf = logf }
+}
+
+// WithTraceLogger sets the structured logger query traces are written
+// to: one Debug record per query (trace ID, template, per-span timings)
+// and one Warn record per slow query. Default slog.Default().
+func WithTraceLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.tracer = l }
+}
+
+// WithSlowQueryThreshold enables the slow-query log: queries taking
+// longer than d are counted and logged at Warn with their span
+// breakdown. d <= 0 disables it (the default).
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(s *Server) { s.slow = d }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the daemon's
+// handler, for CPU/heap profiling of a live server.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
 }
 
 // WithSessionTTL enables idle-session garbage collection: a session
@@ -73,12 +103,27 @@ func New(db *ranksql.DB, opts ...Option) *Server {
 		sessions: newSessionTable(),
 		metrics:  newMetrics(),
 		logf:     log.Printf,
+		tracer:   slog.Default(),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	// Scrape-time gauges over state owned elsewhere: sessions and the
+	// engine's plan cache.
+	reg := s.metrics.reg
+	reg.GaugeFunc("ranksqld_sessions", "Open sessions.",
+		func() float64 { return float64(s.sessions.count()) })
+	reg.GaugeFunc("ranksqld_plan_cache_entries", "Compiled plans cached.",
+		func() float64 { return float64(s.db.PlanCacheStats().Entries) })
+	reg.GaugeFunc("ranksqld_plan_cache_hits_total", "Plan cache hits.",
+		func() float64 { return float64(s.db.PlanCacheStats().Hits) })
+	reg.GaugeFunc("ranksqld_plan_cache_misses_total", "Plan cache misses.",
+		func() float64 { return float64(s.db.PlanCacheStats().Misses) })
 	return s
 }
+
+// Registry exposes the server's metrics registry (tests and embedders).
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // DB returns the underlying database (for seeding and tests).
 func (s *Server) DB() *ranksql.DB { return s.db }
@@ -94,9 +139,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/exec", s.post(s.handleExec))
 	mux.HandleFunc("/load", s.handleLoad)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", obs.Handler(s.metrics.reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -139,6 +192,10 @@ type request struct {
 	SessionID string        `json:"session_id,omitempty"`
 	StmtID    string        `json:"stmt_id,omitempty"`
 	Params    []interface{} `json:"params,omitempty"`
+	// DeadlineMS is a per-request execution budget in milliseconds: a
+	// query still running when it expires is cancelled, the request
+	// fails with 504, and the timeout is counted as its own metric.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 type errorResponse struct {
@@ -271,9 +328,17 @@ type queryResponse struct {
 	Exhausted bool       `json:"exhausted"`
 	Stats     queryStats `json:"stats"`
 	ElapsedMS float64    `json:"elapsed_ms"`
+	TraceID   string     `json:"trace_id,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *request) {
+	// The trace ID arrives from an upstream coordinator (the sharded
+	// router propagates its own) or is minted here, and stamps every
+	// structured log record and the response for cross-tier correlation.
+	trace := obs.NewTrace(obs.TraceIDFrom(r))
+	w.Header().Set(obs.TraceHeader, trace.ID)
+
+	endResolve := trace.StartSpan("resolve")
 	stmt, code, err := s.resolveStmt(req)
 	if err != nil {
 		s.metrics.recordError("")
@@ -286,9 +351,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
+	endResolve()
+
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
 	start := time.Now()
-	rows, err := stmt.QueryContext(r.Context(), args...)
+	endExec := trace.StartSpan("execute")
+	rows, err := stmt.QueryContext(ctx, args...)
+	endExec()
 	if err != nil {
+		if ctx.Err() != nil && r.Context().Err() == nil {
+			// The per-request deadline_ms budget expired server-side; the
+			// client is still listening and gets a distinct timeout error.
+			s.metrics.recordTimeout()
+			s.metrics.recordError(stmt.Normalized())
+			s.tracer.Warn("query deadline exceeded",
+				"trace", trace.ID, "query", stmt.Normalized(), "deadline_ms", req.DeadlineMS)
+			writeJSON(w, http.StatusGatewayTimeout,
+				errorResponse{fmt.Sprintf("query exceeded deadline_ms=%d", req.DeadlineMS)})
+			return
+		}
 		if r.Context().Err() != nil {
 			// The client disconnected or timed out mid-query: nobody is
 			// listening for the response, and it is not a query error.
@@ -299,7 +385,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 		return
 	}
 	elapsed := time.Since(start)
-	s.metrics.recordQuery(stmt.Normalized(), elapsed, rows.Len(), rows.Stats.TuplesScanned, rows.CacheHit)
+	s.metrics.recordQuery(stmt.Normalized(), elapsed, rows)
+	attrs := append([]any{
+		"trace", trace.ID, "query", stmt.Normalized(),
+		"elapsed_ms", float64(elapsed) / float64(time.Millisecond),
+		"rows", rows.Len(), "cache_hit", rows.CacheHit,
+	}, trace.SpanAttrs()...)
+	if s.slow > 0 && elapsed >= s.slow {
+		s.metrics.slow.Inc()
+		s.tracer.Warn("slow query", attrs...)
+	} else {
+		s.tracer.Debug("query", attrs...)
+	}
 
 	resp := queryResponse{
 		Columns:   rows.Columns,
@@ -318,6 +415,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 			PredCostUnits: rows.Stats.PredCostUnits,
 		},
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		TraceID:   trace.ID,
 	}
 	for i := 0; i < rows.Len(); i++ {
 		vals := rows.At(i)

@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -20,13 +22,17 @@ import (
 
 func discardLog(string, ...interface{}) {}
 
+func discardSlog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
 func newTestServer(t *testing.T, rows int) (*Server, *httptest.Server) {
 	t.Helper()
 	db := ranksql.Open()
 	if err := SeedWebshop(db, rows); err != nil {
 		t.Fatal(err)
 	}
-	s := New(db, WithLogger(discardLog))
+	s := New(db, WithLogger(discardLog), WithTraceLogger(discardSlog()))
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -359,7 +365,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 	if err := SeedWebshop(db, 100); err != nil {
 		t.Fatal(err)
 	}
-	s := New(db, WithLogger(discardLog))
+	s := New(db, WithLogger(discardLog), WithTraceLogger(discardSlog()))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

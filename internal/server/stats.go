@@ -4,6 +4,9 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ranksql"
+	"ranksql/internal/obs"
 )
 
 // qpsWindow tracks request counts in per-second buckets over the last
@@ -20,20 +23,52 @@ const (
 	overflowTemplate = "(other templates)"
 )
 
-// metrics aggregates server-wide and per-template counters.
+// metrics aggregates server-wide and per-template counters. The scalar
+// counters and the latency histogram live in an obs.Registry, so the
+// same values back both the Prometheus /metrics endpoint and the JSON
+// /stats payload; the QPS window and the per-template map stay under a
+// mutex (they are compound updates a lock-free registry cannot express).
 type metrics struct {
+	reg      *obs.Registry
+	queries  *obs.Counter   // SELECTs served
+	execs    *obs.Counter   // DDL/DML served
+	errors   *obs.Counter   // failed requests
+	timeouts *obs.Counter   // queries cut off by a deadline_ms budget
+	slow     *obs.Counter   // queries over the slow-query threshold
+	latency  *obs.Histogram // query wall time, seconds
+	rowsOut  *obs.Counter   // ranked rows returned
+	scanned  *obs.Counter   // base-table tuples read
+
 	mu      sync.Mutex
 	started time.Time
-
-	queries  uint64 // SELECTs served
-	execs    uint64 // DDL/DML served
-	errors   uint64
-	querySum time.Duration // total query latency
 
 	buckets   [windowSeconds]uint64
 	bucketSec [windowSeconds]int64
 
 	perQuery map[string]*templateMetrics
+}
+
+// opAggregate accumulates sampled operator profiles for one node of a
+// template's plan, identified positionally (pre-order index) so repeated
+// profiled executions of the same plan line up node by node.
+type opAggregate struct {
+	depth   int
+	name    string
+	samples uint64
+	rows    int64
+	depthK  int64
+	timeMS  float64
+}
+
+// OperatorStats is one plan node of a template's aggregated runtime
+// profile in the /stats payload. Averages are per profiled execution.
+type OperatorStats struct {
+	Depth     int     `json:"depth"`
+	Op        string  `json:"op"`
+	Samples   uint64  `json:"samples"`
+	AvgRows   float64 `json:"avg_rows"`
+	AvgDepthK float64 `json:"avg_depth_k"`
+	AvgTimeMS float64 `json:"avg_time_ms"`
 }
 
 // templateMetrics aggregates executions of one normalized query template.
@@ -46,12 +81,32 @@ type templateMetrics struct {
 	AvgDepthK float64 `json:"avg_depth_k"`
 	Scanned   uint64  `json:"tuples_scanned_total"`
 	AvgMS     float64 `json:"avg_latency_ms"`
+	// Operators is the template's sampled per-operator runtime profile
+	// (engine profiling samples every N-th execution; see EXPLAIN ANALYZE).
+	Operators []OperatorStats `json:"operators,omitempty"`
 
 	totalMS float64
+	ops     []opAggregate
 }
 
 func newMetrics() *metrics {
-	return &metrics{started: time.Now(), perQuery: map[string]*templateMetrics{}}
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:      reg,
+		queries:  reg.Counter("ranksqld_queries_total", "SELECT statements served."),
+		execs:    reg.Counter("ranksqld_execs_total", "DDL/DML statements and CSV loads served."),
+		errors:   reg.Counter("ranksqld_errors_total", "Requests that failed."),
+		timeouts: reg.Counter("ranksqld_timeouts_total", "Queries aborted by a per-request deadline_ms budget."),
+		slow:     reg.Counter("ranksqld_slow_queries_total", "Queries slower than the slow-query threshold."),
+		latency:  reg.Histogram("ranksqld_query_duration_seconds", "Query wall time."),
+		rowsOut:  reg.Counter("ranksqld_rows_returned_total", "Ranked rows returned to clients."),
+		scanned:  reg.Counter("ranksqld_tuples_scanned_total", "Base-table tuples read by queries."),
+		started:  time.Now(),
+		perQuery: map[string]*templateMetrics{},
+	}
+	reg.GaugeFunc("ranksqld_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(m.started).Seconds() })
+	return m
 }
 
 // tickLocked registers one request into the QPS window.
@@ -65,46 +120,86 @@ func (m *metrics) tickLocked(now time.Time) {
 	m.buckets[i]++
 }
 
-// recordQuery aggregates one SELECT execution. depthK is the number of
-// ranked rows actually produced (the depth the incremental top-k plan
-// descended to); scanned counts base-table tuples read.
-func (m *metrics) recordQuery(norm string, d time.Duration, depthK int, scanned int64, cacheHit bool) {
+// recordQuery aggregates one SELECT execution: registry counters and
+// the latency histogram, the QPS window, the per-template aggregate,
+// and — when the engine profiled this execution — the template's
+// per-operator runtime profile.
+func (m *metrics) recordQuery(norm string, d time.Duration, rows *ranksql.Rows) {
+	m.queries.Inc()
+	m.latency.ObserveDuration(d)
+	m.rowsOut.Add(uint64(rows.Len()))
+	m.scanned.Add(uint64(rows.Stats.TuplesScanned))
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.queries++
-	m.querySum += d
 	m.tickLocked(time.Now())
 	t := m.templateLocked(norm)
 	t.Count++
-	if cacheHit {
+	if rows.CacheHit {
 		t.CacheHits++
 	}
+	depthK := rows.Len()
 	t.Rows += uint64(depthK)
 	if depthK > t.MaxDepthK {
 		t.MaxDepthK = depthK
 	}
-	t.Scanned += uint64(scanned)
+	t.Scanned += uint64(rows.Stats.TuplesScanned)
 	t.totalMS += float64(d) / float64(time.Millisecond)
+	if rows.Profiled {
+		t.mergeProfileLocked(rows.Operators())
+	}
+}
+
+// mergeProfileLocked folds one profiled execution's operator tree into
+// the template aggregate. A shape change (node count or operator name)
+// means the plan was recompiled differently — the old profile no longer
+// describes the running plan, so it restarts.
+func (t *templateMetrics) mergeProfileLocked(ops []ranksql.OpProfile) {
+	if len(ops) == 0 {
+		return
+	}
+	same := len(t.ops) == len(ops)
+	for i := 0; same && i < len(ops); i++ {
+		same = t.ops[i].name == ops[i].Name && t.ops[i].depth == ops[i].Depth
+	}
+	if !same {
+		t.ops = make([]opAggregate, len(ops))
+		for i, o := range ops {
+			t.ops[i] = opAggregate{depth: o.Depth, name: o.Name}
+		}
+	}
+	for i, o := range ops {
+		a := &t.ops[i]
+		a.samples++
+		a.rows += o.Rows
+		a.depthK += o.DepthK
+		a.timeMS += o.TimeMS
+	}
 }
 
 // recordExec aggregates one DDL/DML execution.
 func (m *metrics) recordExec() {
+	m.execs.Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.execs++
 	m.tickLocked(time.Now())
 }
 
 // recordError counts a failed request, attributed to its template when
 // one is known.
 func (m *metrics) recordError(norm string) {
+	m.errors.Inc()
+	if norm == "" {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.errors++
-	if norm != "" {
-		m.templateLocked(norm).Errors++
-	}
+	m.templateLocked(norm).Errors++
 }
+
+// recordTimeout counts a query aborted by its deadline_ms budget (the
+// error is counted separately by recordError).
+func (m *metrics) recordTimeout() { m.timeouts.Inc() }
 
 // templateLocked finds or creates the aggregate for a template, spilling
 // into the overflow bucket once maxTemplates distinct ones exist.
@@ -136,11 +231,16 @@ type Snapshot struct {
 	Queries       uint64  `json:"queries"`
 	Execs         uint64  `json:"execs"`
 	Errors        uint64  `json:"errors"`
+	Timeouts      uint64  `json:"timeouts"`
+	SlowQueries   uint64  `json:"slow_queries"`
 	// QPS is the recent rate over the sliding window; QPSTotal the
 	// since-start average.
-	QPS             float64         `json:"qps"`
-	QPSTotal        float64         `json:"qps_total"`
-	AvgQueryMS      float64         `json:"avg_query_ms"`
+	QPS        float64 `json:"qps"`
+	QPSTotal   float64 `json:"qps_total"`
+	AvgQueryMS float64 `json:"avg_query_ms"`
+	// Latency summarizes the query-latency histogram (the same one
+	// /metrics exposes bucket by bucket).
+	Latency         obs.Summary     `json:"latency"`
 	Sessions        int             `json:"sessions"`
 	SessionsExpired uint64          `json:"sessions_expired"`
 	PerQuery        []TemplateStats `json:"per_query"`
@@ -162,6 +262,9 @@ type CacheSnapshot struct {
 // snapshot renders the metrics; the caller fills in cache/session/table
 // fields.
 func (m *metrics) snapshot() Snapshot {
+	queries := m.queries.Value()
+	execs := m.execs.Value()
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := time.Now()
@@ -184,9 +287,12 @@ func (m *metrics) snapshot() Snapshot {
 	}
 	snap := Snapshot{
 		UptimeSeconds: uptime,
-		Queries:       m.queries,
-		Execs:         m.execs,
-		Errors:        m.errors,
+		Queries:       queries,
+		Execs:         execs,
+		Errors:        m.errors.Value(),
+		Timeouts:      m.timeouts.Value(),
+		SlowQueries:   m.slow.Value(),
+		Latency:       m.latency.Summarize(),
 	}
 	if secs > 0 {
 		snap.QPS = float64(recent) / float64(secs)
@@ -196,16 +302,26 @@ func (m *metrics) snapshot() Snapshot {
 		snap.QPS = float64(m.buckets[i])
 	}
 	if uptime > 0 {
-		snap.QPSTotal = float64(m.queries+m.execs) / uptime
+		snap.QPSTotal = float64(queries+execs) / uptime
 	}
-	if m.queries > 0 {
-		snap.AvgQueryMS = float64(m.querySum) / float64(time.Millisecond) / float64(m.queries)
-	}
+	snap.AvgQueryMS = snap.Latency.MeanMS
 	for norm, t := range m.perQuery {
 		row := TemplateStats{Query: norm, templateMetrics: *t}
 		if t.Count > 0 {
 			row.AvgDepthK = float64(t.Rows) / float64(t.Count)
 			row.AvgMS = t.totalMS / float64(t.Count)
+		}
+		for _, a := range t.ops {
+			if a.samples == 0 {
+				continue
+			}
+			n := float64(a.samples)
+			row.Operators = append(row.Operators, OperatorStats{
+				Depth: a.depth, Op: a.name, Samples: a.samples,
+				AvgRows:   float64(a.rows) / n,
+				AvgDepthK: float64(a.depthK) / n,
+				AvgTimeMS: a.timeMS / n,
+			})
 		}
 		snap.PerQuery = append(snap.PerQuery, row)
 	}

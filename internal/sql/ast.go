@@ -35,8 +35,10 @@ type SelectStmt struct {
 	// LimitParam is the 1-based placeholder position of a `LIMIT ?`;
 	// 0 = no placeholder (Limit carries the literal).
 	LimitParam int
-	// Explain marks EXPLAIN SELECT.
+	// Explain marks EXPLAIN SELECT; Analyze marks EXPLAIN ANALYZE SELECT
+	// (execute the query and report per-operator runtime profiles).
 	Explain bool
+	Analyze bool
 }
 
 func (*SelectStmt) stmt() {}
@@ -76,6 +78,7 @@ type SetOpStmt struct {
 	// LimitParam mirrors SelectStmt.LimitParam for `LIMIT ?`.
 	LimitParam int
 	Explain    bool
+	Analyze    bool
 }
 
 func (*SetOpStmt) stmt() {}

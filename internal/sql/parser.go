@@ -100,8 +100,8 @@ var reserved = map[string]bool{
 	"asc": true, "desc": true, "is": true, "null": true, "true": true,
 	"false": true, "values": true, "insert": true, "into": true,
 	"create": true, "table": true, "index": true, "rank": true, "on": true,
-	"explain": true, "drop": true, "union": true, "intersect": true,
-	"except": true,
+	"explain": true, "analyze": true, "drop": true, "union": true,
+	"intersect": true, "except": true,
 }
 
 func (p *parser) peekKeyword(kw string) bool {
@@ -112,15 +112,20 @@ func (p *parser) parseStmt() (Stmt, error) {
 	switch {
 	case p.peekKeyword("explain"):
 		p.advance()
+		analyze := false
+		if p.peekKeyword("analyze") {
+			p.advance()
+			analyze = true
+		}
 		st, err := p.parseSelectOrSetOp()
 		if err != nil {
 			return nil, err
 		}
 		switch s := st.(type) {
 		case *SelectStmt:
-			s.Explain = true
+			s.Explain, s.Analyze = true, analyze
 		case *SetOpStmt:
-			s.Explain = true
+			s.Explain, s.Analyze = true, analyze
 		}
 		return st, nil
 	case p.peekKeyword("select"):

@@ -148,9 +148,54 @@ type Rows struct {
 	// merge uses to bound a shard's remaining contribution. Always true
 	// for unlimited queries.
 	Exhausted bool
+	// Profiled reports whether this execution carried per-operator wall
+	// time: always for EXPLAIN ANALYZE, and on a sampled subset of plain
+	// executions (see SetProfileSampling). When set, Operators() includes
+	// timing and ExecTree() renders it.
+	Profiled bool
 
 	execTree func() string
+	tree     exec.TreeSnapshot
 	pos      int
+}
+
+// OpProfile is one operator of the executed plan: its position in the
+// tree, rows emitted, depth of enumeration (tuples consumed from its
+// inputs — the quantity rank-aware operators keep small), and, when the
+// execution was Profiled, inclusive wall time and call count.
+type OpProfile struct {
+	// Depth is the operator's nesting depth (0 = root).
+	Depth int
+	// Name is the operator label, e.g. "rank_cheap(h.price)".
+	Name string
+	// Rows is the number of tuples the operator emitted.
+	Rows int64
+	// DepthK is the number of tuples consumed from the operator's inputs
+	// (for leaves: pulled from the base table).
+	DepthK int64
+	// TimeMS is inclusive wall time in milliseconds (self + children);
+	// zero unless the execution was Profiled.
+	TimeMS float64
+	// Calls counts Open/Next invocations; zero unless Profiled.
+	Calls int64
+}
+
+// Operators returns the executed plan's per-operator runtime profile in
+// pre-order (parent before children). Timing fields are populated only
+// when Profiled; row counts and depth-k are always real.
+func (r *Rows) Operators() []OpProfile {
+	out := make([]OpProfile, len(r.tree))
+	for i, n := range r.tree {
+		out[i] = OpProfile{
+			Depth:  n.Depth,
+			Name:   n.Label,
+			Rows:   n.Out,
+			DepthK: n.DepthK,
+			TimeMS: float64(n.TimeNS) / 1e6,
+			Calls:  n.Calls,
+		}
+	}
+	return out
 }
 
 // ExecTree renders the executed operator tree with per-operator output
@@ -268,6 +313,8 @@ func wrapRows(rows *engine.Rows) *Rows {
 		Scores:    rows.Scores,
 		Stats:     convertStats(rows.Stats),
 		execTree:  rows.ExecTree,
+		tree:      rows.Tree,
+		Profiled:  rows.Profiled,
 		CacheHit:  rows.CacheHit,
 		K:         rows.K,
 		Exhausted: rows.Exhausted,
@@ -287,6 +334,24 @@ func (db *DB) QueryScores(sql string) ([]float64, error) {
 // with estimated cardinalities and costs.
 func (db *DB) Explain(sql string) (string, error) {
 	return db.eng.Explain(sql)
+}
+
+// ExplainAnalyze executes a SELECT with per-operator timing enabled and
+// returns the profiled result: the rows hold the rendered operator tree
+// (one "QUERY PLAN" column), and Operators() exposes the structured
+// per-operator wall time, rows and depth-k. sql must be a plain SELECT
+// or set-operation statement (without an EXPLAIN prefix of its own —
+// `Query("EXPLAIN ANALYZE ...")` is the equivalent spelled out).
+func (db *DB) ExplainAnalyze(sql string) (*Rows, error) {
+	return db.Query("EXPLAIN ANALYZE " + sql)
+}
+
+// SetProfileSampling configures sampled operator profiling: every N-th
+// execution of a query template runs with per-operator timing and feeds
+// the template's operator profile (Rows.Profiled reports which). 0
+// disables sampling; EXPLAIN ANALYZE always profiles. Default 16.
+func (db *DB) SetProfileSampling(every int) {
+	db.eng.SetProfileSampling(every)
 }
 
 // Tables lists the database's table names.
