@@ -7,9 +7,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +39,9 @@ func runBench(args []string) {
 	warmup := fs.Int("warmup", 200, "untimed warm-up requests before the measured window (plan cache and CPU warm)")
 	k := fs.Int("k", 10, "top-k bound per query")
 	writeEvery := fs.Int("write-every", 0, "per worker, issue an INSERT every N queries (0 = read-only)")
+	paginate := fs.Bool("paginate", false, "pagination scenario: each request opens a ranked cursor and pulls -pages pages of k rows through /cursor/next, then compares the cursor's enumeration cost against one-shot and naive re-execution paging")
+	pages := fs.Int("pages", 10, "pages pulled per cursor session in -paginate mode")
+	templates := fs.Int("templates", 1, "distinct query templates rotated per worker (pressures the plan cache; open cursors must keep streaming after their plan is evicted)")
 	routerMode := fs.Bool("router", false, "drive a sharded cluster: self-host -shards in-process ranksqld shards behind a router (or treat -addr as a router)")
 	numShards := fs.Int("shards", 2, "shard count for the self-hosted router cluster")
 	jsonPath := fs.String("json", "", "write the machine-readable benchmark report to this file")
@@ -56,6 +61,12 @@ func runBench(args []string) {
 	}
 	if *warmup < 0 {
 		*warmup = 0
+	}
+	if *pages < 1 {
+		*pages = 1
+	}
+	if *templates < 1 {
+		*templates = 1
 	}
 
 	base := *addr
@@ -93,10 +104,17 @@ func runBench(args []string) {
 	if *writeEvery > 0 {
 		fmt.Printf(", 1 INSERT per %d queries per worker", *writeEvery)
 	}
+	if *paginate {
+		fmt.Printf(", %d cursor pages per request", *pages)
+	}
+	if *templates > 1 {
+		fmt.Printf(", %d templates", *templates)
+	}
 	fmt.Println()
 
 	var (
 		done       int64
+		pagesDone  int64
 		cacheHits  int64
 		violations int64
 		writes     int64
@@ -131,9 +149,15 @@ func runBench(args []string) {
 			if err != nil {
 				log.Fatalf("bench: worker %d: session: %v", worker, err)
 			}
-			stmtID, err := c.prepare(sessionID, queryTemplate)
-			if err != nil {
-				log.Fatalf("bench: worker %d: prepare: %v", worker, err)
+			// Each worker rotates through -templates distinct statement
+			// shapes; with more shapes than plan-cache capacity, every
+			// request evicts someone else's plan, so paginating cursors
+			// demonstrably keep streaming after losing their cached plan.
+			stmtIDs := make([]string, *templates)
+			for j := range stmtIDs {
+				if stmtIDs[j], err = c.prepare(sessionID, templateVariant(*dataset, queryTemplate, j)); err != nil {
+					log.Fatalf("bench: worker %d: prepare template %d: %v", worker, j, err)
+				}
 			}
 			insertID := ""
 			if *writeEvery > 0 {
@@ -143,7 +167,7 @@ func runBench(args []string) {
 			}
 			rng := server.NewRng(uint64(worker)*0x9E3779B97F4A7C15 + 1)
 			for i := 0; i < warmQuota; i++ {
-				if _, err := c.query(sessionID, stmtID, paramGen.query(&rng, *k)); err != nil {
+				if _, err := c.query(sessionID, stmtIDs[i%len(stmtIDs)], paramGen.query(&rng, *k)); err != nil {
 					log.Fatalf("bench: worker %d: warm-up query: %v", worker, err)
 				}
 			}
@@ -156,14 +180,43 @@ func runBench(args []string) {
 					}
 					atomic.AddInt64(&writes, 1)
 				}
+				stmtID := stmtIDs[i%len(stmtIDs)]
 				params := paramGen.query(&rng, *k)
 				t0 := time.Now()
-				resp, err := c.query(sessionID, stmtID, params)
-				if err != nil {
-					log.Fatalf("bench: worker %d: query: %v", worker, err)
+				var d time.Duration
+				if *paginate {
+					out, err := c.paginateSession(sessionID, stmtID, params, *k, *pages, hist)
+					if err != nil {
+						log.Fatalf("bench: worker %d: cursor session: %v", worker, err)
+					}
+					d = time.Since(t0)
+					atomic.AddInt64(&pagesDone, int64(out.pages))
+					atomic.AddInt64(&violations, int64(out.violations))
+					if out.cacheHit {
+						atomic.AddInt64(&cacheHits, 1)
+					}
+				} else {
+					resp, err := c.query(sessionID, stmtID, params)
+					if err != nil {
+						log.Fatalf("bench: worker %d: query: %v", worker, err)
+					}
+					d = time.Since(t0)
+					hist.ObserveDuration(d)
+					if resp.CacheHit {
+						atomic.AddInt64(&cacheHits, 1)
+					}
+					// Verify the ranked contract: at most k rows, scores
+					// non-increasing.
+					if len(resp.Rows) > *k {
+						atomic.AddInt64(&violations, 1)
+					}
+					for j := 1; j < len(resp.Scores); j++ {
+						if resp.Scores[j] > resp.Scores[j-1]+1e-9 {
+							atomic.AddInt64(&violations, 1)
+							break
+						}
+					}
 				}
-				d := time.Since(t0)
-				hist.ObserveDuration(d)
 				for {
 					cur := atomic.LoadInt64(&maxNanos)
 					if int64(d) <= cur || atomic.CompareAndSwapInt64(&maxNanos, cur, int64(d)) {
@@ -171,20 +224,6 @@ func runBench(args []string) {
 					}
 				}
 				atomic.AddInt64(&done, 1)
-				if resp.CacheHit {
-					atomic.AddInt64(&cacheHits, 1)
-				}
-				// Verify the ranked contract: at most k rows, scores
-				// non-increasing.
-				if len(resp.Rows) > *k {
-					atomic.AddInt64(&violations, 1)
-				}
-				for j := 1; j < len(resp.Scores); j++ {
-					if resp.Scores[j] > resp.Scores[j-1]+1e-9 {
-						atomic.AddInt64(&violations, 1)
-						break
-					}
-				}
 			}
 		}(w)
 	}
@@ -205,6 +244,10 @@ func runBench(args []string) {
 	fmt.Printf("\n== results ==\n")
 	fmt.Printf("queries    %d (+%d inserts) in %.2fs  ->  %.0f qps\n",
 		total, atomic.LoadInt64(&writes), elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	if *paginate {
+		fmt.Printf("pages      %d pages of k=%d across %d cursor sessions  ->  %.0f pages/sec\n",
+			atomic.LoadInt64(&pagesDone), *k, total, float64(atomic.LoadInt64(&pagesDone))/elapsed.Seconds())
+	}
 	fmt.Printf("latency    mean=%.2fms  p50=%.2fms  p95=%.2fms  p99=%.2fms  max=%.2fms\n",
 		lat.MeanMS, lat.P50MS, lat.P95MS, lat.P99MS, maxMS)
 	fmt.Printf("plan cache %d/%d client-observed hits (%.1f%%)\n",
@@ -218,6 +261,7 @@ func runBench(args []string) {
 		Requests:     int(total),
 		Warmup:       *warmup,
 		K:            *k,
+		Templates:    *templates,
 		Writes:       atomic.LoadInt64(&writes),
 		ElapsedSec:   elapsed.Seconds(),
 		QPS:          float64(total) / elapsed.Seconds(),
@@ -237,13 +281,34 @@ func runBench(args []string) {
 		writeReport(*jsonPath, &report)
 		os.Exit(1)
 	}
-	fmt.Println("ranking    all responses correctly ordered, |rows| <= k")
+	fmt.Println("ranking    all responses correctly ordered, |rows| <= k, ranks contiguous")
+
+	if *paginate {
+		pag, err := measurePagination(base, queryTemplate, paramGen, *k, *pages)
+		if err != nil {
+			log.Fatalf("bench: pagination measurement: %v", err)
+		}
+		pag.Sessions = int(total)
+		pag.PagesPerSec = float64(atomic.LoadInt64(&pagesDone)) / elapsed.Seconds()
+		report.Pagination = pag
+		fmt.Printf("\n== pagination: enumeration cost for %d pages of k=%d ==\n", *pages, *k)
+		fmt.Printf("cursor     %d tuples scanned (suspended stream, pages are deltas)\n", pag.CursorTuples)
+		fmt.Printf("one-shot   %d tuples scanned for a single top-%d  ->  cursor/one-shot = %.2fx\n",
+			pag.OneShotTuples, *pages**k, pag.CursorVsOneShot)
+		fmt.Printf("naive      %d tuples scanned re-running deeper limits  ->  naive/one-shot = %.2fx\n",
+			pag.NaiveTuples, pag.NaiveVsOneShot)
+	}
 
 	// Server-side view.
 	if *routerMode {
 		var stats router.Snapshot
 		if err := getJSON(base+"/stats", &stats); err != nil {
 			log.Fatalf("bench: stats: %v", err)
+		}
+		if *paginate {
+			fmt.Printf("\ncursors: opened=%d open=%d hits=%d misses=%d expired=%d\n",
+				stats.Cursors.Opened, stats.Cursors.Open, stats.Cursors.Hits,
+				stats.Cursors.Misses, stats.Cursors.Expired)
 		}
 		report.Pruning = &pruningReport{
 			QueriesWithPrunedShards: stats.QueriesWithPrunedShards,
@@ -277,6 +342,11 @@ func runBench(args []string) {
 		stats.Queries, stats.Execs, stats.Errors, stats.QPS, stats.AvgQueryMS)
 	fmt.Printf("plan cache: hits=%d misses=%d entries=%d hit_rate=%.1f%%\n",
 		stats.PlanCache.Hits, stats.PlanCache.Misses, stats.PlanCache.Entries, 100*stats.PlanCache.HitRate)
+	if *paginate {
+		fmt.Printf("cursors: opened=%d open=%d hits=%d misses=%d expired=%d\n",
+			stats.Cursors.Opened, stats.Cursors.Open, stats.Cursors.Hits,
+			stats.Cursors.Misses, stats.Cursors.Expired)
+	}
 	for _, q := range stats.PerQuery {
 		fmt.Printf("  %6d× avg_depth_k=%.1f max_depth_k=%d avg=%.2fms  %s\n",
 			q.Count, q.AvgDepthK, q.MaxDepthK, q.AvgMS, truncate(q.Query, 80))
@@ -287,23 +357,44 @@ func runBench(args []string) {
 // benchReport is the machine-readable result written by -json and
 // checked by -validate: the recorded perf baseline's schema.
 type benchReport struct {
-	Mode         string         `json:"mode"` // "single" or "router"
-	Dataset      string         `json:"dataset"`
-	Rows         int            `json:"rows"`
-	Shards       int            `json:"shards,omitempty"`
-	Concurrency  int            `json:"concurrency"`
-	Requests     int            `json:"requests"`
-	Warmup       int            `json:"warmup"`
-	K            int            `json:"k"`
-	Writes       int64          `json:"writes"`
-	ElapsedSec   float64        `json:"elapsed_sec"`
-	QPS          float64        `json:"qps"`
-	Latency      obs.Summary    `json:"latency_ms"`
-	MaxMS        float64        `json:"max_ms"`
-	CacheHitRate float64        `json:"cache_hit_rate"`
-	Violations   int64          `json:"violations"`
-	Pruning      *pruningReport `json:"pruning,omitempty"`
-	GeneratedAt  string         `json:"generated_at"`
+	Mode         string            `json:"mode"` // "single" or "router"
+	Dataset      string            `json:"dataset"`
+	Rows         int               `json:"rows"`
+	Shards       int               `json:"shards,omitempty"`
+	Concurrency  int               `json:"concurrency"`
+	Requests     int               `json:"requests"`
+	Warmup       int               `json:"warmup"`
+	K            int               `json:"k"`
+	Templates    int               `json:"templates,omitempty"`
+	Writes       int64             `json:"writes"`
+	ElapsedSec   float64           `json:"elapsed_sec"`
+	QPS          float64           `json:"qps"`
+	Latency      obs.Summary       `json:"latency_ms"`
+	MaxMS        float64           `json:"max_ms"`
+	CacheHitRate float64           `json:"cache_hit_rate"`
+	Violations   int64             `json:"violations"`
+	Pruning      *pruningReport    `json:"pruning,omitempty"`
+	Pagination   *paginationReport `json:"pagination,omitempty"`
+	GeneratedAt  string            `json:"generated_at"`
+}
+
+// paginationReport captures the -paginate scenario: cursor throughput
+// plus the enumeration-cost comparison against a single deep top-k run
+// and against naive re-execution paging.
+type paginationReport struct {
+	Pages       int     `json:"pages"`
+	PageSize    int     `json:"page_size"`
+	Sessions    int     `json:"sessions"`
+	PagesPerSec float64 `json:"pages_per_sec"`
+	// CursorTuples is the cumulative tuples_scanned after pulling all
+	// pages through one suspended cursor; OneShotTuples is the same
+	// counter for a single top-(pages*page_size) run; NaiveTuples sums
+	// re-running the query with a deeper LIMIT for every page.
+	CursorTuples    int64   `json:"cursor_tuples_scanned"`
+	OneShotTuples   int64   `json:"one_shot_tuples_scanned"`
+	NaiveTuples     int64   `json:"naive_tuples_scanned"`
+	CursorVsOneShot float64 `json:"cursor_vs_one_shot"`
+	NaiveVsOneShot  float64 `json:"naive_vs_one_shot"`
 }
 
 // pruningReport captures the router's threshold-merge effectiveness for
@@ -371,6 +462,33 @@ func validateReport(path string) error {
 	}
 	if r.Violations != 0 {
 		return fmt.Errorf("report records %d ranking violations", r.Violations)
+	}
+	if p := r.Pagination; p != nil {
+		if p.Pages < 1 || p.PageSize < 1 || p.Sessions < 1 {
+			return fmt.Errorf("pagination pages/page_size/sessions must be >= 1 (got %d, %d, %d)",
+				p.Pages, p.PageSize, p.Sessions)
+		}
+		if p.PagesPerSec <= 0 {
+			return fmt.Errorf("pagination pages_per_sec must be positive (got %.2f)", p.PagesPerSec)
+		}
+		if p.OneShotTuples <= 0 || p.CursorTuples <= 0 {
+			return fmt.Errorf("pagination tuple counters must be positive (cursor=%d one_shot=%d)",
+				p.CursorTuples, p.OneShotTuples)
+		}
+		// The point of resumable cursors: paging must cost about what a
+		// single deep run costs, not re-enumerate per page. The router
+		// gets slack for per-shard overfetch.
+		limit := 1.2
+		if r.Mode == "router" {
+			limit = 1.5
+		}
+		if p.CursorVsOneShot > limit {
+			return fmt.Errorf("cursor paging scanned %.2fx the tuples of a one-shot run (limit %.1fx)",
+				p.CursorVsOneShot, limit)
+		}
+		if p.NaiveVsOneShot < 1 {
+			return fmt.Errorf("naive_vs_one_shot = %.2f, want >= 1 (naive paging repeats work)", p.NaiveVsOneShot)
+		}
 	}
 	if _, err := time.Parse(time.RFC3339, r.GeneratedAt); err != nil {
 		return fmt.Errorf("generated_at: %v", err)
@@ -480,6 +598,149 @@ type paramGenerator struct {
 	insert func(r *server.Rng, worker, i int) []interface{}
 }
 
+// templateVariant derives the j-th distinct-but-equivalent statement
+// shape from a dataset's base template by injecting an always-true
+// predicate whose literal embeds j: each variant normalizes to its own
+// template, so -templates N mints N plan-cache entries from one
+// workload. Variant 0 is the base template itself, keeping single-
+// template runs comparable with older baselines.
+func templateVariant(dataset, base string, j int) string {
+	if j == 0 {
+		return base
+	}
+	var pred string
+	switch dataset {
+	case "tripplanner":
+		pred = fmt.Sprintf("h.price > 0.%03d", j%1000) // prices start at 30
+	default: // webshop
+		pred = fmt.Sprintf("stars >= 0.%03d", j%1000) // stars start at 1
+	}
+	return strings.Replace(base, "WHERE ", "WHERE "+pred+" AND ", 1)
+}
+
+// paginationOutcome is one worker cursor session's tally.
+type paginationOutcome struct {
+	pages      int
+	violations int
+	cacheHit   bool
+}
+
+// paginateSession opens a ranked cursor, pulls up to pages pages of k
+// rows through /cursor/next, verifies the paged stream looks exactly
+// like one contiguous ranked run (scores non-increasing across page
+// boundaries, ranks consecutive from 1), and closes the cursor. Each
+// page's latency enters the histogram individually.
+func (c *benchClient) paginateSession(sessionID, stmtID string, params []interface{}, k, pages int, hist *obs.Histogram) (paginationOutcome, error) {
+	var out paginationOutcome
+	lastScore := math.Inf(1)
+	nextRank := 1
+	check := func(r *benchQueryResponse) {
+		if len(r.Rows) > k {
+			out.violations++
+		}
+		for _, s := range r.Scores {
+			if s > lastScore+1e-9 {
+				out.violations++
+			}
+			lastScore = s
+		}
+		for _, rk := range r.Ranks {
+			if rk != nextRank {
+				out.violations++
+			}
+			nextRank = rk + 1
+		}
+	}
+	t0 := time.Now()
+	resp, err := c.queryCursor(sessionID, stmtID, params, k)
+	if err != nil {
+		return out, err
+	}
+	hist.ObserveDuration(time.Since(t0))
+	if resp.CursorID == "" {
+		return out, fmt.Errorf("cursor open returned no cursor_id")
+	}
+	out.pages++
+	out.cacheHit = resp.CacheHit
+	check(resp)
+	for p := 1; p < pages && !resp.Exhausted; p++ {
+		t0 = time.Now()
+		if resp, err = c.cursorNext(resp.CursorID, k); err != nil {
+			return out, err
+		}
+		hist.ObserveDuration(time.Since(t0))
+		out.pages++
+		check(resp)
+	}
+	return out, c.cursorClose(resp.CursorID)
+}
+
+// measurePagination compares the enumeration cost (tuples_scanned) of
+// three ways to read pages*k ranked rows with identical parameters: a
+// suspended cursor pulling k-row pages, one deep top-(pages*k) run, and
+// the naive client strategy of re-running with a deeper LIMIT per page.
+// Cursor stats are cumulative, so the final page's counter is the whole
+// stream's cost.
+func measurePagination(base, queryTemplate string, gen paramGenerator, k, pages int) (*paginationReport, error) {
+	c := &benchClient{base: base, http: &http.Client{Timeout: 60 * time.Second}}
+	sessionID, err := c.openSession()
+	if err != nil {
+		return nil, err
+	}
+	stmtID, err := c.prepare(sessionID, queryTemplate)
+	if err != nil {
+		return nil, err
+	}
+	rng := server.NewRng(0xC0FFEE)
+	params := gen.query(&rng, k) // the LIMIT occupies the last slot
+	limitAt := len(params) - 1
+	withLimit := func(n int) []interface{} {
+		return append(append([]interface{}{}, params[:limitAt]...), n)
+	}
+
+	resp, err := c.queryCursor(sessionID, stmtID, params, k)
+	if err != nil {
+		return nil, fmt.Errorf("cursor open: %w", err)
+	}
+	cursorTuples := resp.Stats.TuplesScanned
+	for p := 1; p < pages && !resp.Exhausted; p++ {
+		if resp, err = c.cursorNext(resp.CursorID, k); err != nil {
+			return nil, fmt.Errorf("cursor page %d: %w", p+1, err)
+		}
+		cursorTuples = resp.Stats.TuplesScanned
+	}
+	if err := c.cursorClose(resp.CursorID); err != nil {
+		return nil, fmt.Errorf("cursor close: %w", err)
+	}
+
+	one, err := c.query(sessionID, stmtID, withLimit(pages*k))
+	if err != nil {
+		return nil, fmt.Errorf("one-shot run: %w", err)
+	}
+
+	var naiveTuples int64
+	for p := 1; p <= pages; p++ {
+		r, err := c.query(sessionID, stmtID, withLimit(p*k))
+		if err != nil {
+			return nil, fmt.Errorf("naive page %d: %w", p, err)
+		}
+		naiveTuples += r.Stats.TuplesScanned
+	}
+
+	pr := &paginationReport{
+		Pages:         pages,
+		PageSize:      k,
+		CursorTuples:  cursorTuples,
+		OneShotTuples: one.Stats.TuplesScanned,
+		NaiveTuples:   naiveTuples,
+	}
+	if pr.OneShotTuples > 0 {
+		pr.CursorVsOneShot = float64(pr.CursorTuples) / float64(pr.OneShotTuples)
+		pr.NaiveVsOneShot = float64(pr.NaiveTuples) / float64(pr.OneShotTuples)
+	}
+	return pr, nil
+}
+
 // benchClient is a minimal ranksqld protocol client.
 type benchClient struct {
 	base string
@@ -487,10 +748,16 @@ type benchClient struct {
 }
 
 type benchQueryResponse struct {
-	Rows     [][]interface{} `json:"rows"`
-	Scores   []float64       `json:"scores"`
-	CacheHit bool            `json:"cache_hit"`
-	Error    string          `json:"error"`
+	Rows      [][]interface{} `json:"rows"`
+	Scores    []float64       `json:"scores"`
+	Ranks     []int           `json:"ranks"`
+	CacheHit  bool            `json:"cache_hit"`
+	Exhausted bool            `json:"exhausted"`
+	CursorID  string          `json:"cursor_id"`
+	Stats     struct {
+		TuplesScanned int64 `json:"tuples_scanned"`
+	} `json:"stats"`
+	Error string `json:"error"`
 }
 
 func (c *benchClient) openSession() (string, error) {
@@ -531,6 +798,53 @@ func (c *benchClient) query(sessionID, stmtID string, params []interface{}) (*be
 		return nil, fmt.Errorf("%s", out.Error)
 	}
 	return &out, nil
+}
+
+// queryCursor opens a ranked cursor over a prepared statement and
+// returns its first page (carrying the cursor_id for cursorNext).
+func (c *benchClient) queryCursor(sessionID, stmtID string, params []interface{}, fetch int) (*benchQueryResponse, error) {
+	var out benchQueryResponse
+	req := map[string]interface{}{
+		"session_id": sessionID, "stmt_id": stmtID, "params": params,
+		"cursor": true, "fetch": fetch,
+	}
+	if err := c.post("/query", req, &out); err != nil {
+		return nil, err
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("%s", out.Error)
+	}
+	return &out, nil
+}
+
+// cursorNext pulls the next page of a suspended ranked cursor.
+func (c *benchClient) cursorNext(cursorID string, fetch int) (*benchQueryResponse, error) {
+	var out benchQueryResponse
+	req := map[string]interface{}{"cursor_id": cursorID, "fetch": fetch}
+	if err := c.post("/cursor/next", req, &out); err != nil {
+		return nil, err
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("%s", out.Error)
+	}
+	if out.CursorID == "" {
+		out.CursorID = cursorID
+	}
+	return &out, nil
+}
+
+// cursorClose releases a ranked cursor.
+func (c *benchClient) cursorClose(cursorID string) error {
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := c.post("/cursor/close", map[string]interface{}{"cursor_id": cursorID}, &out); err != nil {
+		return err
+	}
+	if out.Error != "" {
+		return fmt.Errorf("%s", out.Error)
+	}
+	return nil
 }
 
 func (c *benchClient) exec(sessionID, stmtID string, params []interface{}) error {

@@ -1,0 +1,376 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ranksql/internal/exec"
+	"ranksql/internal/optimizer"
+	"ranksql/internal/schema"
+	"ranksql/internal/sql"
+	"ranksql/internal/types"
+)
+
+// ErrCursorInvalidated is returned by Fetch when DDL (or an optimizer
+// reconfiguration) bumped the schema version after the cursor was
+// opened: the suspended operator tree references catalog state that may
+// no longer exist, so the cursor closes itself and the client must
+// re-open.
+var ErrCursorInvalidated = errors.New("engine: cursor invalidated by a schema change; re-open it")
+
+// ErrCursorClosed is returned by Fetch after Close (or after the cursor
+// was invalidated).
+var ErrCursorClosed = errors.New("engine: cursor is closed")
+
+// Cursor is a resumable ranked stream: an opened operator tree whose
+// state (ranking queues, join frontiers, depth-of-enumeration counters)
+// is suspended between pulls, so fetching page N never re-plans or
+// re-executes pages 1..N-1. The stream yields tuples in the query's
+// score order; a LIMIT k in the statement tunes the plan for depth k
+// but does not cap the stream — the cursor pages past it.
+//
+// Snapshot semantics: scans pin their row range at open, and the
+// storage layer is append-only, so the stream is a consistent snapshot
+// of the data as of Open even while inserts land between pulls. DDL
+// invalidates the cursor (ErrCursorInvalidated).
+//
+// A Cursor is safe for concurrent use, though pulls serialize: each
+// Fetch holds the database's read lock for the duration of the pull,
+// like any query.
+type Cursor struct {
+	db *DB
+
+	mu        sync.Mutex
+	op        exec.Operator
+	ctx       *exec.Context
+	cp        *CompiledPlan // nil for set-operation cursors
+	columns   []string
+	k         int // the statement's LIMIT (plan-tuning hint; 0 = none)
+	version   uint64
+	pulled    int
+	exhausted bool
+	closed    bool
+	cacheHit  bool
+	// pending holds tuples pulled by an interrupted fetch: they were
+	// already consumed from the operator tree, so the next fetch must
+	// deliver them first or the stream would silently skip rows.
+	pending []*schema.Tuple
+}
+
+// QueryCursor parses a SELECT or set-operation statement and opens a
+// resumable ranked cursor over it. Repeated SELECT templates share the
+// plan cache with Query.
+func (db *DB) QueryCursor(src string) (*Cursor, error) {
+	st, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *sql.SelectStmt:
+		if n := sql.CountParams(st); n > 0 {
+			return nil, fmt.Errorf("engine: statement has %d unbound parameter(s); use Prepare", n)
+		}
+		return db.openCursorSelect(s, "", nil, nil)
+	case *sql.SetOpStmt:
+		if n := sql.CountParams(st); n > 0 {
+			return nil, fmt.Errorf("engine: statement has %d unbound parameter(s); use Prepare", n)
+		}
+		return db.openCursorSetOp(s)
+	default:
+		return nil, fmt.Errorf("engine: QueryCursor expects a SELECT statement")
+	}
+}
+
+// Cursor opens a resumable ranked cursor over a prepared query with the
+// given parameter values, through the same plan-cache paths as Query.
+func (p *Prepared) Cursor(params []types.Value) (*Cursor, error) {
+	switch s := p.stmt.(type) {
+	case *sql.SelectStmt:
+		return p.db.openCursorSelect(s, p.norm, params, p)
+	case *sql.SetOpStmt:
+		if len(params) != 0 {
+			return nil, fmt.Errorf("engine: set-operation statements take no parameters")
+		}
+		return p.db.openCursorSetOp(s)
+	default:
+		return nil, fmt.Errorf("engine: prepared statement is not a query; use Exec")
+	}
+}
+
+// openCursorSelect mirrors querySelect's plan-cache paths (shared LRU
+// for parameterized templates, per-Prepared cache for literal-only
+// statements), but instead of draining the tree it opens it once and
+// suspends. Fetch pulls pages from the suspended tree.
+func (db *DB) openCursorSelect(sel *sql.SelectStmt, norm string, params []types.Value, pr *Prepared) (*Cursor, error) {
+	if sel.Explain {
+		return nil, fmt.Errorf("engine: cannot open a cursor on an EXPLAIN statement")
+	}
+	var want int
+	if pr != nil {
+		want = pr.numParams
+	} else {
+		want = sql.CountParams(sel)
+	}
+	if want != len(params) {
+		return nil, fmt.Errorf("engine: statement has %d parameter(s), %d value(s) bound", want, len(params))
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	k := sel.Limit
+	if sel.LimitParam > 0 {
+		n, err := sql.LimitValue(params, sel.LimitParam)
+		if err != nil {
+			return nil, err
+		}
+		k = n
+	}
+
+	parameterized := want > 0
+	var cp *CompiledPlan
+	switch {
+	case parameterized:
+		cp = db.Plans.Get(planKey{norm: norm, k: k, version: db.version})
+	case pr != nil:
+		pr.localMu.Lock()
+		if pr.localPlan != nil && pr.localVersion == db.version {
+			cp = pr.localPlan
+		}
+		pr.localMu.Unlock()
+	}
+	if cp != nil && db.planStale(cp) {
+		db.Plans.noteStale()
+		cp = nil
+	}
+	cacheHit := cp != nil
+	if cp == nil {
+		bound, err := sql.BindParams(sel, params)
+		if err != nil {
+			return nil, err
+		}
+		compiled, op, err := db.compileSelect(bound.(*sql.SelectStmt))
+		if err != nil {
+			return nil, err
+		}
+		// The compile built a full (limited) tree to resolve the output
+		// schema; the cursor builds its own un-limited tree below.
+		_ = op.Close()
+		switch {
+		case parameterized:
+			db.Plans.Put(planKey{norm: norm, k: k, version: db.version}, compiled)
+		case pr != nil:
+			pr.localMu.Lock()
+			pr.localPlan, pr.localVersion = compiled, db.version
+			pr.localMu.Unlock()
+		}
+		cp = compiled
+	}
+
+	op, err := db.buildCursorTree(cp, params)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewContext(cp.Spec)
+	ctx.SpinPerCostUnit = db.SpinPerCostUnit
+	ctx.Profile = db.shouldProfile(cp)
+	if err := op.Open(ctx); err != nil {
+		_ = op.Close()
+		return nil, err
+	}
+	return &Cursor{
+		db: db, op: op, ctx: ctx, cp: cp,
+		columns: cp.Columns, k: k, version: db.version, cacheHit: cacheHit,
+	}, nil
+}
+
+// buildCursorTree instantiates a compiled plan for streaming: the root
+// limit node is stripped (the statement's k tuned the plan, the cursor
+// pages the stream), parameters are rebound, and the projection is
+// re-applied. Callers hold db.mu (read side).
+func (db *DB) buildCursorTree(cp *CompiledPlan, params []types.Value) (exec.Operator, error) {
+	plan := cp.Plan
+	if cp.HasParams {
+		bound, err := optimizer.BindPlanParams(cp.Plan, params)
+		if err != nil {
+			return nil, err
+		}
+		plan = bound
+	}
+	if plan.Kind == optimizer.KindLimit && len(plan.Children) == 1 {
+		plan = plan.Children[0]
+	}
+	op, err := plan.Build(cp.Env)
+	if err != nil {
+		return nil, err
+	}
+	if cp.Proj != nil {
+		pr, err := exec.NewProject(op, cp.Proj)
+		if err != nil {
+			return nil, err
+		}
+		op = pr
+	}
+	return op, nil
+}
+
+// openCursorSetOp opens a cursor over a rank-aware set operation. The
+// operands are optimized as usual; no limit node is added, so the
+// merged stream pages indefinitely.
+func (db *DB) openCursorSetOp(st *sql.SetOpStmt) (*Cursor, error) {
+	if st.Explain {
+		return nil, fmt.Errorf("engine: cannot open a cursor on an EXPLAIN statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	lop, rop, spec, err := db.buildSetOp(st)
+	if err != nil {
+		return nil, err
+	}
+	var root exec.Operator
+	switch st.Kind {
+	case sql.SetUnion:
+		root, err = exec.NewRankUnion(lop, rop)
+	case sql.SetIntersect:
+		root, err = exec.NewRankIntersect(lop, rop)
+	default:
+		root, err = exec.NewRankDiff(lop, rop)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewContext(spec)
+	ctx.SpinPerCostUnit = db.SpinPerCostUnit
+	if err := root.Open(ctx); err != nil {
+		_ = root.Close()
+		return nil, err
+	}
+	var columns []string
+	for _, c := range root.Schema().Columns {
+		columns = append(columns, c.QualifiedName())
+	}
+	return &Cursor{
+		db: db, op: root, ctx: ctx,
+		columns: columns, k: st.Limit, version: db.version,
+	}, nil
+}
+
+// Fetch pulls the next n tuples from the suspended stream. The returned
+// page's Exhausted reports whether the stream ran dry (a short page);
+// Stats are cumulative across all pulls of this cursor, so the last
+// page's counters describe the whole enumeration. K echoes the page
+// size requested.
+func (c *Cursor) Fetch(n int) (*Rows, error) {
+	return c.FetchCancel(n, nil)
+}
+
+// FetchCancel is Fetch with a cancellation channel: closing cancel
+// interrupts the pull at the next cancellation point, leaving the
+// cursor usable.
+func (c *Cursor) FetchCancel(n int, cancel <-chan struct{}) (*Rows, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("engine: cursor fetch size must be positive, got %d", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrCursorClosed
+	}
+	c.db.mu.RLock()
+	defer c.db.mu.RUnlock()
+	if c.db.version != c.version {
+		_ = c.closeLocked()
+		return nil, ErrCursorInvalidated
+	}
+	rows := &Rows{
+		Columns:  append([]string(nil), c.columns...),
+		CacheHit: c.cacheHit,
+		K:        n,
+	}
+	if c.exhausted {
+		rows.Exhausted = true
+		rows.Stats = c.ctx.Stats
+		return rows, nil
+	}
+	tuples := c.pending
+	c.pending = nil
+	if len(tuples) < n {
+		c.ctx.Cancel = cancel
+		more, err := exec.PullN(c.ctx, c.op, n-len(tuples))
+		c.ctx.Cancel = nil
+		tuples = append(tuples, more...)
+		if err != nil {
+			// The pull was interrupted (cancellation) or failed; the
+			// tuples already consumed from the tree must not be lost, so
+			// they wait for the next fetch.
+			c.pending = tuples
+			return nil, err
+		}
+	} else {
+		c.pending = tuples[n:]
+		tuples = tuples[:n:n]
+	}
+	for _, t := range tuples {
+		rows.Data = append(rows.Data, t.Values)
+		rows.Scores = append(rows.Scores, t.Score)
+	}
+	rows.Stats = c.ctx.Stats
+	tree := exec.SnapshotTree(c.op)
+	rows.ExecTree = tree.String
+	rows.Tree = tree
+	rows.Profiled = tree.Profiled()
+	if c.cp != nil {
+		rows.Plan = c.cp.Plan
+	}
+	c.pulled += len(tuples)
+	if len(tuples) < n {
+		c.exhausted = true
+	}
+	rows.Exhausted = c.exhausted
+	return rows, nil
+}
+
+// Close releases the suspended operator tree. Idempotent.
+func (c *Cursor) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closeLocked()
+}
+
+func (c *Cursor) closeLocked() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	op := c.op
+	c.op = nil
+	if op != nil {
+		return op.Close()
+	}
+	return nil
+}
+
+// Pulled returns the total number of tuples fetched so far — the base
+// for the next page's rank numbering.
+func (c *Cursor) Pulled() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pulled
+}
+
+// Exhausted reports whether the stream has run dry.
+func (c *Cursor) Exhausted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exhausted
+}
+
+// Columns returns the qualified output column names.
+func (c *Cursor) Columns() []string { return append([]string(nil), c.columns...) }
+
+// CacheHit reports whether opening the cursor reused a cached plan.
+func (c *Cursor) CacheHit() bool { return c.cacheHit }
+
+// K returns the statement's LIMIT (the plan-tuning depth hint; 0 when
+// the statement had none).
+func (c *Cursor) K() int { return c.k }

@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ranksql/internal/types"
+)
+
+// cursorDB builds a ranked table large enough to paginate over, with
+// grid-valued score inputs so ties are common. The deterministic LCG
+// keeps the dataset stable across runs.
+func cursorDB(t *testing.T, nRows int) *DB {
+	t.Helper()
+	db := New()
+	if _, err := db.Exec(`CREATE TABLE item (id INT, a FLOAT, b FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sa", "sb"} {
+		if err := db.RegisterScorer(name, Scorer{
+			Fn:   func(args []types.Value) float64 { f, _ := args[0].AsFloat(); return f },
+			Cost: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed := uint64(0x9E3779B97F4A7C15)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(n))
+	}
+	var vals []string
+	for i := 0; i < nRows; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, %.2f, %.2f)",
+			i, float64(next(21))/20, float64(next(21))/20))
+	}
+	if _, err := db.Exec(`INSERT INTO item VALUES ` + strings.Join(vals, ", ")); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+const cursorQuery = `SELECT id, a, b FROM item WHERE a >= 0.2 ORDER BY 0.6*sa(a) + 0.4*sb(b) LIMIT 10`
+
+// collectPages drains a cursor in pages of k, checking the per-page
+// ranked-stream contract along the way, and returns the concatenation.
+func collectPages(t *testing.T, c *Cursor, k int) ([][]types.Value, []float64) {
+	t.Helper()
+	var data [][]types.Value
+	var scores []float64
+	for pages := 0; ; pages++ {
+		if pages > 10000 {
+			t.Fatal("cursor never exhausted")
+		}
+		page, err := c.Fetch(k)
+		if err != nil {
+			t.Fatalf("page %d: %v", pages, err)
+		}
+		if len(page.Data) > k {
+			t.Fatalf("page %d has %d rows, want <= %d", pages, len(page.Data), k)
+		}
+		data = append(data, page.Data...)
+		scores = append(scores, page.Scores...)
+		if c.Pulled() != len(data) {
+			t.Fatalf("Pulled() = %d after %d rows", c.Pulled(), len(data))
+		}
+		if page.Exhausted {
+			if !c.Exhausted() {
+				t.Fatal("page says exhausted but cursor disagrees")
+			}
+			break
+		}
+		if len(page.Data) < k {
+			t.Fatalf("short page %d (%d rows) not marked exhausted", pages, len(page.Data))
+		}
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i] > scores[i-1]+1e-9 {
+			t.Fatalf("scores increase across pages at %d: %g > %g", i, scores[i], scores[i-1])
+		}
+	}
+	return data, scores
+}
+
+// assertSameRanking checks two rankings agree: identical score
+// sequences, and within each tie group (run of equal scores) the same
+// multiset of rows. Tie-break order inside a group may legally differ
+// between a paged and a one-shot execution.
+func assertSameRanking(t *testing.T, gotData [][]types.Value, gotScores []float64, ref *Rows) {
+	t.Helper()
+	if len(gotData) != len(ref.Data) {
+		t.Fatalf("paged run yielded %d rows, one-shot %d", len(gotData), len(ref.Data))
+	}
+	for i := range gotScores {
+		if d := gotScores[i] - ref.Scores[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("score[%d] = %g paged vs %g one-shot", i, gotScores[i], ref.Scores[i])
+		}
+	}
+	render := func(row []types.Value) string {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		return strings.Join(parts, "|")
+	}
+	for i := 0; i < len(ref.Data); {
+		j := i + 1
+		for j < len(ref.Data) && ref.Scores[j] == ref.Scores[i] {
+			j++
+		}
+		group := map[string]int{}
+		for r := i; r < j; r++ {
+			group[render(ref.Data[r])]++
+		}
+		for r := i; r < j; r++ {
+			key := render(gotData[r])
+			if group[key] == 0 {
+				t.Fatalf("rank %d row %q not in one-shot tie group [%d,%d)", r+1, key, i, j)
+			}
+			group[key]--
+		}
+		i = j
+	}
+}
+
+// TestCursorPagesMatchOneShot is the core pagination property: pulling
+// pages of k until exhaustion yields exactly the ranking a single deep
+// run produces — same scores rank by rank, same rows modulo tie groups.
+func TestCursorPagesMatchOneShot(t *testing.T) {
+	const nRows = 240
+	db := cursorDB(t, nRows)
+	ref, err := db.Query(fmt.Sprintf(
+		`SELECT id, a, b FROM item WHERE a >= 0.2 ORDER BY 0.6*sa(a) + 0.4*sb(b) LIMIT %d`, nRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Data) == 0 || len(ref.Data) == nRows {
+		t.Fatalf("reference has %d rows; the predicate should filter some but not all", len(ref.Data))
+	}
+
+	for _, k := range []int{1, 7, 10, 64} {
+		c, err := db.QueryCursor(cursorQuery)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		data, scores := collectPages(t, c, k)
+		assertSameRanking(t, data, scores, ref)
+		// A drained cursor keeps answering with empty exhausted pages.
+		extra, err := c.Fetch(k)
+		if err != nil || len(extra.Data) != 0 || !extra.Exhausted {
+			t.Fatalf("k=%d: fetch past exhaustion = (%d rows, exhausted=%v, err=%v)",
+				k, len(extra.Data), extra.Exhausted, err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("k=%d: close: %v", k, err)
+		}
+	}
+}
+
+// TestCursorStreamsPastLimit pins that the statement's LIMIT tunes the
+// plan but does not cap the stream: the cursor pages straight past it.
+func TestCursorStreamsPastLimit(t *testing.T) {
+	db := cursorDB(t, 120)
+	c, err := db.QueryCursor(cursorQuery) // LIMIT 10 in the statement
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.K() != 10 {
+		t.Fatalf("K() = %d, want the statement's LIMIT 10", c.K())
+	}
+	page, err := c.Fetch(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Data) <= 10 {
+		t.Fatalf("fetch(30) returned %d rows; the cursor must stream past LIMIT 10", len(page.Data))
+	}
+}
+
+// TestCursorSnapshotUnderInserts pins the snapshot contract: rows
+// inserted after Open — even ones that would outrank everything — must
+// not appear in the stream, and the stream still drains completely.
+func TestCursorSnapshotUnderInserts(t *testing.T) {
+	const nRows = 120
+	db := cursorDB(t, nRows)
+	ref, err := db.Query(fmt.Sprintf(
+		`SELECT id, a, b FROM item WHERE a >= 0.2 ORDER BY 0.6*sa(a) + 0.4*sb(b) LIMIT %d`, nRows))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := db.QueryCursor(cursorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	first, err := c.Fetch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Top-scoring rows land mid-stream; DML must not invalidate or leak.
+	if _, err := db.Exec(`INSERT INTO item VALUES (100001, 1.0, 1.0), (100002, 1.0, 1.0)`); err != nil {
+		t.Fatal(err)
+	}
+
+	data := first.Data
+	scores := first.Scores
+	for !c.Exhausted() {
+		page, err := c.Fetch(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, page.Data...)
+		scores = append(scores, page.Scores...)
+	}
+	for i, row := range data {
+		if id, _ := row[0].AsFloat(); id >= 100000 {
+			t.Fatalf("rank %d leaked row %s inserted after the cursor opened", i+1, row[0].String())
+		}
+	}
+	assertSameRanking(t, data, scores, ref)
+
+	// A cursor opened after the insert sees the new top rows.
+	c2, err := db.QueryCursor(cursorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	page, err := c2.Fetch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range page.Data {
+		if id, _ := row[0].AsFloat(); id < 100000 {
+			t.Fatalf("fresh cursor rank %d = %v; the inserted rows should outrank everything", i+1, row[0].String())
+		}
+	}
+}
+
+// TestCursorDDLInvalidation pins the invalidation contract: DDL bumps
+// the schema version, the suspended tree is unusable, and the client
+// gets ErrCursorInvalidated once, then ErrCursorClosed.
+func TestCursorDDLInvalidation(t *testing.T) {
+	db := cursorDB(t, 60)
+	c, err := db.QueryCursor(cursorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE unrelated (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(5); !errors.Is(err, ErrCursorInvalidated) {
+		t.Fatalf("fetch after DDL: %v, want ErrCursorInvalidated", err)
+	}
+	if _, err := c.Fetch(5); !errors.Is(err, ErrCursorClosed) {
+		t.Fatalf("fetch after invalidation: %v, want ErrCursorClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close after invalidation: %v", err)
+	}
+}
+
+// TestCursorPrepared pins cursors over prepared templates: parameters
+// bind per open, and the template's plan cache is shared, so the second
+// open is a cache hit.
+func TestCursorPrepared(t *testing.T) {
+	db := cursorDB(t, 120)
+	p, err := db.Prepare(`SELECT id, a, b FROM item WHERE a >= ? ORDER BY 0.6*sa(a) + 0.4*sb(b) LIMIT ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func() *Cursor {
+		t.Helper()
+		c, err := p.Cursor([]types.Value{types.NewFloat(0.2), types.NewInt(10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1 := open()
+	d1, s1 := collectPages(t, c1, 10)
+	c1.Close()
+
+	c2 := open()
+	if !c2.CacheHit() {
+		t.Error("second cursor over the same template should hit the plan cache")
+	}
+	d2, s2 := collectPages(t, c2, 7)
+	c2.Close()
+	if len(d1) != len(d2) {
+		t.Fatalf("page-of-10 run yielded %d rows, page-of-7 run %d", len(d1), len(d2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("score[%d] differs across page sizes: %g vs %g", i, s1[i], s2[i])
+		}
+	}
+}
+
+// TestCursorSetOp drains a UNION through a cursor and checks it against
+// the one-shot set-operation result.
+func TestCursorSetOp(t *testing.T) {
+	db := setOpDB(t)
+	const q = `SELECT * FROM store_a UNION SELECT * FROM store_b ORDER BY cheap(price) + rated(stars) LIMIT 10`
+	ref, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := db.QueryCursor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data, scores := collectPages(t, c, 2)
+	assertSameRanking(t, data, scores, ref)
+}

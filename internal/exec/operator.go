@@ -230,6 +230,27 @@ func Drain(ctx *Context, op Operator) ([]*schema.Tuple, error) {
 	}
 }
 
+// PullN pulls up to n tuples from an already-open operator tree — one
+// page of a suspended ranked stream. A short page means the stream ran
+// dry; a full page means deeper tuples may exist (the same exhaustion
+// convention top-k results use). The tree is left open, so the caller
+// can keep pulling pages: operator state (ranking queues, join
+// frontiers, depth counters) carries over between calls.
+func PullN(ctx *Context, op Operator, n int) ([]*schema.Tuple, error) {
+	out := make([]*schema.Tuple, 0, n)
+	for len(out) < n {
+		t, err := op.Next(ctx)
+		if err != nil {
+			return out, err
+		}
+		if t == nil {
+			break
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
 // Run opens, fully drains and closes an operator tree.
 func Run(ctx *Context, op Operator) ([]*schema.Tuple, error) {
 	if err := op.Open(ctx); err != nil {

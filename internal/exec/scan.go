@@ -31,7 +31,12 @@ type SeqScan struct {
 	table *storage.Table
 	alias string
 
-	tid     int
+	tid int
+	// rows pins the table's row count at Open. The storage layer is
+	// append-only, so a scan bounded by its Open-time count is a
+	// consistent snapshot even when the tree is suspended between pulls
+	// (resumable cursors) while inserts land.
+	rows    int
 	ceiling float64
 	npreds  int
 }
@@ -49,6 +54,7 @@ func (s *SeqScan) Open(ctx *Context) error {
 		defer s.prof(time.Now())
 	}
 	s.tid = 0
+	s.rows = s.table.NumRows()
 	s.reset()
 	s.ceiling = ctx.Spec.CeilingScore()
 	s.npreds = ctx.Spec.N()
@@ -63,7 +69,7 @@ func (s *SeqScan) Next(ctx *Context) (*schema.Tuple, error) {
 	if err := ctx.interrupted(); err != nil {
 		return nil, err
 	}
-	if s.tid >= s.table.NumRows() {
+	if s.tid >= s.rows {
 		return nil, nil
 	}
 	row := s.table.Row(schema.TID(s.tid))

@@ -30,7 +30,9 @@ type shardQueryResponse struct {
 	CacheHit  bool            `json:"cache_hit"`
 	K         int             `json:"k"`
 	Depth     int             `json:"depth"`
+	Offset    int             `json:"offset"`
 	Exhausted bool            `json:"exhausted"`
+	CursorID  string          `json:"cursor_id"`
 	Stats     queryStats      `json:"stats"`
 	Error     string          `json:"error"`
 }
@@ -88,6 +90,35 @@ func (sc *shardClient) query(ctx context.Context, trace string, req *request) (*
 		return nil, fmt.Errorf("%s", out.Error)
 	}
 	return &out, nil
+}
+
+// cursorNext pulls the next page of a shard-side ranked cursor.
+func (sc *shardClient) cursorNext(ctx context.Context, trace string, req *request) (*shardQueryResponse, error) {
+	var out shardQueryResponse
+	if err := sc.postJSON(ctx, "/cursor/next", trace, req, &out); err != nil {
+		return nil, err
+	}
+	if out.Error != "" {
+		return nil, fmt.Errorf("%s", out.Error)
+	}
+	return &out, nil
+}
+
+// cursorClose releases a shard-side ranked cursor. Best-effort: the
+// shard's idle-cursor GC collects it anyway if this call is lost.
+func (sc *shardClient) cursorClose(id string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := sc.postJSON(ctx, "/cursor/close", "", &request{CursorID: id}, &out); err != nil {
+		return err
+	}
+	if out.Error != "" {
+		return fmt.Errorf("%s", out.Error)
+	}
+	return nil
 }
 
 // exec runs a DDL/DML statement on the shard.

@@ -1,0 +1,633 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"ranksql/internal/obs"
+)
+
+// Router-side ranked cursors: a /query carrying "cursor": true opens a
+// resumable merged stream whose per-shard positions persist between
+// pages. Each shard holds its own suspended cursor (opened with the
+// same "cursor": true protocol the router serves), so paginating
+// clients pull pages without the router ever re-fanning-out: a
+// /cursor/next refills only shards whose score bound still matters,
+// and each refill fetches just the delta rows past that shard's
+// suspended position.
+
+const (
+	// maxOpenRouterCursors bounds concurrently open cursors: each one
+	// pins per-shard stream prefixes in router memory plus a suspended
+	// cursor on every shard.
+	maxOpenRouterCursors = 4096
+	// routerSweepInterval divides the TTL into the lazy GC cadence, like
+	// the server's session sweeps.
+	routerSweepInterval = 8
+	// maxRememberedCursorExpiries caps the tombstone map that turns
+	// "unknown cursor" into the friendlier "expired" error.
+	maxRememberedCursorExpiries = 4096
+	// defaultCursorPage is the fetch size when neither the request nor
+	// the statement's LIMIT suggests one.
+	defaultCursorPage = 10
+	// cursorGrowChunk pages an unbounded fetch (n <= 0, "drain the
+	// shard") through the shard cursor in chunks.
+	cursorGrowChunk = 256
+)
+
+// routerCursor is one client-visible resumable merged stream: the
+// persistent Merger plus the per-shard cursor streams it draws from.
+type routerCursor struct {
+	ID      string
+	Created time.Time
+
+	// lastUsed drives TTL expiry; guarded by the owning cursorTable's
+	// mutex.
+	lastUsed time.Time
+
+	mu          sync.Mutex // serializes pulls on this cursor
+	merger      *Merger
+	streams     []*cursorStream
+	norm        string
+	pageSize    int
+	pulled      int // rows delivered so far (rank offset for the next page)
+	rowsFetched int // shard rows already attributed to per-page metrics
+}
+
+// closeShardCursors releases the shard-side cursors (best-effort; shard
+// TTL GC is the backstop). It takes rc.mu because the idle-cursor sweep
+// may race a pull in flight on this cursor.
+func (rc *routerCursor) closeShardCursors() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, s := range rc.streams {
+		s.closeRemote()
+	}
+}
+
+// cursorTable manages the router's open cursors, mirroring the server's:
+// when ttl > 0, cursors idle longer than ttl are garbage-collected
+// lazily on table access, and later requests naming them get a clean
+// "expired" error rather than "unknown".
+type cursorTable struct {
+	ttl time.Duration
+
+	mu        sync.Mutex
+	m         map[string]*routerCursor
+	expired   map[string]time.Time
+	nExpired  uint64
+	lastSweep time.Time
+	nextID    uint64
+}
+
+func newCursorTable() *cursorTable {
+	return &cursorTable{
+		m:         map[string]*routerCursor{},
+		expired:   map[string]time.Time{},
+		lastSweep: time.Now(),
+	}
+}
+
+// add registers an opened cursor and mints its id.
+func (t *cursorTable) add(rc *routerCursor) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	t.maybeSweepLocked(now)
+	if len(t.m) >= maxOpenRouterCursors {
+		return fmt.Errorf("router already holds %d open cursors; close some via /cursor/close", len(t.m))
+	}
+	t.nextID++
+	rc.ID = fmt.Sprintf("rcur-%d", t.nextID)
+	rc.Created, rc.lastUsed = now, now
+	t.m[rc.ID] = rc
+	return nil
+}
+
+// get resolves a cursor id and refreshes its idle timer. Unknown and
+// expired cursors fail with distinct errors.
+func (t *cursorTable) get(id string) (*routerCursor, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	t.maybeSweepLocked(now)
+	rc, ok := t.m[id]
+	if !ok {
+		if when, was := t.expired[id]; was {
+			return nil, fmt.Errorf("cursor %q expired after %s idle (at %s); re-open the query",
+				id, t.ttl, when.Format(time.RFC3339))
+		}
+		return nil, fmt.Errorf("no cursor %q", id)
+	}
+	rc.lastUsed = now
+	return rc, nil
+}
+
+// remove unregisters a cursor without touching its streams (for callers
+// already holding rc.mu).
+func (t *cursorTable) remove(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.m[id]
+	delete(t.m, id)
+	return ok
+}
+
+// close removes a cursor and releases its shard-side cursors.
+func (t *cursorTable) close(id string) bool {
+	t.mu.Lock()
+	rc, ok := t.m[id]
+	if ok {
+		delete(t.m, id)
+	}
+	t.mu.Unlock()
+	if ok {
+		rc.closeShardCursors()
+	}
+	return ok
+}
+
+func (t *cursorTable) maybeSweepLocked(now time.Time) {
+	if t.ttl <= 0 || now.Sub(t.lastSweep) < t.ttl/routerSweepInterval {
+		return
+	}
+	t.sweepLocked(now)
+}
+
+func (t *cursorTable) sweepLocked(now time.Time) {
+	t.lastSweep = now
+	for id, rc := range t.m {
+		if now.Sub(rc.lastUsed) <= t.ttl {
+			continue
+		}
+		delete(t.m, id)
+		// Tear down asynchronously: closeShardCursors takes rc.mu and
+		// does network calls, neither of which belongs under t.mu (a
+		// pull in flight on rc holds rc.mu and may want t.mu).
+		go rc.closeShardCursors()
+		if len(t.expired) >= maxRememberedCursorExpiries {
+			t.expired = map[string]time.Time{}
+		}
+		t.expired[id] = now
+		t.nExpired++
+	}
+}
+
+// expireNow force-runs a sweep against the given clock (test hook).
+func (t *cursorTable) expireNow(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked(now)
+}
+
+func (t *cursorTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+func (t *cursorTable) expiredCount() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nExpired
+}
+
+// cursorStream adapts one shard's ranked-cursor protocol to the merge's
+// Stream interface. Unlike httpStream — which re-issues the template
+// with a deeper limit and makes the shard re-enumerate the whole prefix
+// on every refill — a cursorStream opens a suspended cursor on the
+// shard and grows its prefix with /cursor/next delta pulls, so refill
+// cost is proportional to the new rows only. If the shard loses the
+// cursor (restart, idle GC), the stream degrades to httpStream-style
+// re-execution; the shard's append-only storage keeps the re-fetched
+// prefix a superset of the old one, so the merge's monotonicity checks
+// still hold (at the cost of the original snapshot bound).
+type cursorStream struct {
+	r      *Router
+	sc     *shardClient
+	t      *template
+	params []interface{}
+
+	// ctx and trace are set by the serving request before each merge
+	// pull (a router cursor spans many HTTP requests).
+	ctx   context.Context
+	trace *obs.Trace
+
+	cursorID   string // shard cursor id; "" = not yet opened
+	cursorLost bool   // shard lost the cursor; re-execute instead
+
+	rows        [][]interface{}
+	scores      []float64
+	columns     []string
+	exhausted   bool
+	fetched     bool
+	rounds      int
+	allCacheHit bool
+	stats       queryStats
+	rowsFetched int // rows actually shipped from the shard (delta accounting)
+}
+
+// cursorGone reports a shard error meaning the shard no longer holds
+// the cursor (restart, idle GC) — re-execution can still answer.
+func cursorGone(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "no cursor") || strings.Contains(msg, "expired")
+}
+
+// cursorDead reports a shard error meaning the cursor's snapshot is
+// unusable (schema changed under it); re-execution could silently
+// return different data, so the whole router cursor must be closed.
+func cursorDead(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "invalidated") || strings.Contains(msg, "cursor is closed")
+}
+
+// remainingDeadlineMS converts the pull context's deadline into the
+// shard-side deadline_ms budget (0 = none); a second return of false
+// means the budget is already spent.
+func (s *cursorStream) remainingDeadlineMS() (int, bool) {
+	dl, ok := s.ctx.Deadline()
+	if !ok {
+		return 0, true
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return 0, false
+	}
+	ms := int(rem / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	return ms, true
+}
+
+func (s *cursorStream) span(start time.Time) {
+	s.rounds++
+	if s.trace != nil {
+		s.trace.AddSpan(fmt.Sprintf("shard%d_fetch%d", s.sc.id, s.rounds), start, time.Now())
+	}
+}
+
+func (s *cursorStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
+	if s.fetched && (s.exhausted || (n > 0 && len(s.rows) >= n)) {
+		return s.rows, s.scores, s.exhausted, nil
+	}
+	deadlineMS, alive := s.remainingDeadlineMS()
+	if !alive {
+		return nil, nil, false, s.ctx.Err()
+	}
+	if s.cursorLost {
+		return s.refetchPlain(n, deadlineMS)
+	}
+	if s.cursorID == "" {
+		fetch := n
+		if fetch <= 0 {
+			fetch = cursorGrowChunk
+		}
+		start := time.Now()
+		resp, err := s.r.openShardCursor(s.ctx, s.sc, s.t, s.params, s.traceID(), deadlineMS, fetch)
+		s.span(start)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.base, err)
+		}
+		s.cursorID = resp.CursorID
+		if s.cursorID == "" {
+			// The shard answered without a cursor id (downlevel server):
+			// treat the result as a plain prefix and re-execute from here on.
+			s.cursorLost = true
+		}
+		s.rows, s.scores, s.exhausted = resp.Rows, resp.Scores, resp.Exhausted
+		s.columns = resp.Columns
+		s.allCacheHit = resp.CacheHit
+		s.stats = resp.Stats
+		s.rowsFetched += len(resp.Rows)
+		s.fetched = true
+	}
+	for !s.exhausted && !s.cursorLost && (n <= 0 || len(s.rows) < n) {
+		delta := cursorGrowChunk
+		if n > 0 {
+			delta = n - len(s.rows)
+		}
+		start := time.Now()
+		resp, err := s.sc.cursorNext(s.ctx, s.traceID(),
+			&request{CursorID: s.cursorID, Fetch: delta, DeadlineMS: deadlineMS})
+		s.span(start)
+		if err != nil {
+			if cursorGone(err) && !cursorDead(err) {
+				s.cursorID, s.cursorLost = "", true
+				return s.refetchPlain(n, deadlineMS)
+			}
+			return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.base, err)
+		}
+		s.rows = append(s.rows, resp.Rows...)
+		s.scores = append(s.scores, resp.Scores...)
+		s.exhausted = resp.Exhausted
+		// Shard cursor stats are cumulative across its pulls.
+		s.stats = resp.Stats
+		s.rowsFetched += len(resp.Rows)
+	}
+	return s.rows, s.scores, s.exhausted, nil
+}
+
+// refetchPlain is the degraded path after the shard lost its cursor:
+// re-issue the template with a deep-enough limit (the httpStream
+// strategy) and replace the prefix wholesale.
+func (s *cursorStream) refetchPlain(n, deadlineMS int) ([][]interface{}, []float64, bool, error) {
+	if s.fetched && (s.exhausted || (n > 0 && len(s.rows) >= n)) {
+		return s.rows, s.scores, s.exhausted, nil
+	}
+	if n > 0 && n < len(s.rows) {
+		// The prefix must never shrink; re-fetch at least what we had.
+		n = len(s.rows)
+	}
+	params := s.params
+	if s.t.sel.limitSlot > 0 {
+		params = make([]interface{}, 0, len(s.params)+1)
+		params = append(params, s.params...)
+		if s.t.sel.limitSlot <= len(s.params) {
+			params[s.t.sel.limitSlot-1] = n
+		} else {
+			params = append(params, n)
+		}
+	}
+	start := time.Now()
+	resp, err := s.r.queryShard(s.ctx, s.sc, s.t, params, s.traceID(), deadlineMS)
+	s.span(start)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.base, err)
+	}
+	s.rows, s.scores, s.exhausted = resp.Rows, resp.Scores, resp.Exhausted
+	if s.columns == nil {
+		s.columns = resp.Columns
+	}
+	s.allCacheHit = s.allCacheHit && resp.CacheHit
+	// Re-execution repeats the enumeration; its whole cost (and row
+	// volume) is added so the savings accounting stays honest.
+	s.stats.add(resp.Stats)
+	s.rowsFetched += len(resp.Rows)
+	s.fetched = true
+	return s.rows, s.scores, s.exhausted, nil
+}
+
+func (s *cursorStream) traceID() string {
+	if s.trace == nil {
+		return ""
+	}
+	return s.trace.ID
+}
+
+// closeRemote releases the shard-side cursor (best-effort).
+func (s *cursorStream) closeRemote() {
+	if s.cursorID == "" {
+		return
+	}
+	id := s.cursorID
+	s.cursorID = ""
+	_ = s.sc.cursorClose(id)
+}
+
+// openShardCursor opens a ranked cursor on one shard via the prepared
+// template (preparing it on first use), with the same lost-statement
+// fallback to ad-hoc SQL as queryShard. fetch sizes the first page and,
+// through the trailing limit parameter, tunes the shard's plan depth.
+func (r *Router) openShardCursor(ctx context.Context, sc *shardClient, t *template, params []interface{}, trace string, deadlineMS, fetch int) (*shardQueryResponse, error) {
+	shardParams := params
+	if t.sel.limitSlot > 0 {
+		shardParams = make([]interface{}, 0, len(params)+1)
+		shardParams = append(shardParams, params...)
+		if t.sel.limitSlot <= len(params) {
+			shardParams[t.sel.limitSlot-1] = fetch
+		} else {
+			shardParams = append(shardParams, fetch)
+		}
+	}
+	id := t.sel.shardStmt(sc.id)
+	if id == "" && t.sel.shareable() {
+		if newID, err := sc.prepare(ctx, t.sel.fetchSQL); err == nil {
+			t.sel.setShardStmt(sc.id, newID)
+			id = newID
+		}
+	}
+	if id != "" {
+		resp, err := sc.query(ctx, trace, &request{
+			StmtID: id, Params: shardParams, DeadlineMS: deadlineMS, Cursor: true, Fetch: fetch})
+		if err == nil {
+			return resp, nil
+		}
+		if !stmtLost(err) {
+			return nil, err
+		}
+		t.sel.setShardStmt(sc.id, "")
+	}
+	return sc.query(ctx, trace, &request{
+		SQL: t.sel.fetchSQL, Params: shardParams, DeadlineMS: deadlineMS, Cursor: true, Fetch: fetch})
+}
+
+// handleCursorOpen serves a /query carrying "cursor": true: it builds
+// the per-shard cursor streams and the persistent merger, registers the
+// router cursor, and returns the first page with its cursor_id.
+func (r *Router) handleCursorOpen(w http.ResponseWriter, hr *http.Request, req *request, trace *obs.Trace, t *template, k int) {
+	pageSize := req.Fetch
+	if pageSize <= 0 {
+		if pageSize = k; pageSize <= 0 {
+			pageSize = defaultCursorPage
+		}
+	}
+	streams := make([]*cursorStream, len(r.shards))
+	merge := make([]Stream, len(r.shards))
+	for i, sc := range r.shards {
+		streams[i] = &cursorStream{r: r, sc: sc, t: t, params: req.Params}
+		merge[i] = streams[i]
+	}
+	rc := &routerCursor{
+		merger:   NewMerger(merge, perShardK(pageSize, len(r.shards))),
+		streams:  streams,
+		norm:     t.norm,
+		pageSize: pageSize,
+	}
+	// Delta pulls on shard cursors cost only the new rows, so grow
+	// prefixes additively instead of doubling — enumeration depth stays
+	// proportional to the pages actually consumed.
+	rc.merger.SetStep(perShardK(pageSize, len(r.shards)))
+	if err := r.cursors.add(rc); err != nil {
+		r.metrics.recordError(t.norm)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+		return
+	}
+	r.metrics.cursorsOpened.Inc()
+	r.fetchCursorPage(w, hr, req, trace, rc, pageSize, 0)
+}
+
+// handleCursorNext serves POST /cursor/next {cursor_id, fetch?,
+// after_rank?}: the next page of the merged ranked stream, refilling
+// only shards whose bounds still matter. after_rank skips forward
+// (cursors cannot rewind).
+func (r *Router) handleCursorNext(w http.ResponseWriter, hr *http.Request, req *request) {
+	trace := obs.NewTrace(obs.TraceIDFrom(hr))
+	w.Header().Set(obs.TraceHeader, trace.ID)
+	rc, err := r.cursors.get(req.CursorID)
+	if err != nil {
+		r.metrics.cursorMisses.Inc()
+		r.metrics.recordError("")
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		return
+	}
+	r.metrics.cursorHits.Inc()
+	n := req.Fetch
+	if n <= 0 {
+		n = rc.pageSize
+	}
+	r.fetchCursorPage(w, hr, req, trace, rc, n, req.AfterRank)
+}
+
+// handleCursorClose serves POST /cursor/close {cursor_id}.
+func (r *Router) handleCursorClose(w http.ResponseWriter, _ *http.Request, req *request) {
+	if !r.cursors.close(req.CursorID) {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no cursor %q", req.CursorID)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+}
+
+// fetchCursorPage pulls one page from a registered router cursor and
+// writes it as a queryResponse. afterRank > 0 fast-forwards the merged
+// stream so the page starts at rank afterRank+1; a position already
+// past it is an error (ranked streams cannot rewind).
+func (r *Router) fetchCursorPage(w http.ResponseWriter, hr *http.Request, req *request, trace *obs.Trace, rc *routerCursor, n, afterRank int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+
+	ctx := hr.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	for _, s := range rc.streams {
+		s.ctx, s.trace = ctx, trace
+	}
+	start := time.Now()
+	endMerge := trace.StartSpan("merge")
+	var merged *Merged
+	var err error
+	if skip := afterRank - rc.pulled; afterRank > 0 && skip != 0 {
+		if skip < 0 {
+			endMerge()
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
+				"cursor %q is already past rank %d (at %d); ranked streams cannot rewind", rc.ID, afterRank, rc.pulled)})
+			return
+		}
+		var skipped *Merged
+		if skipped, err = rc.merger.Next(skip); err == nil {
+			rc.pulled += len(skipped.Rows)
+		}
+	}
+	if err == nil {
+		merged, err = rc.merger.Next(n)
+	}
+	endMerge()
+	if err != nil {
+		r.cursorFetchError(w, hr, req, trace, rc, err)
+		return
+	}
+	elapsed := time.Since(start)
+
+	rc.pulled += len(merged.Rows)
+	offset := rc.pulled - len(merged.Rows)
+	resp := queryResponse{
+		Rows:      merged.Rows,
+		Scores:    merged.Scores,
+		Ranks:     make([]int, 0, len(merged.Rows)),
+		CacheHit:  true,
+		K:         n,
+		Depth:     len(merged.Rows),
+		Offset:    offset,
+		Exhausted: merged.Exhausted,
+		CursorID:  rc.ID,
+		Merge: mergeInfo{
+			Shards:       len(r.shards),
+			ShardsPruned: merged.Pruned,
+			Refills:      merged.Refills,
+		},
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		TraceID:   trace.ID,
+	}
+	if resp.Rows == nil {
+		resp.Rows = [][]interface{}{}
+	}
+	if resp.Scores == nil {
+		resp.Scores = []float64{}
+	}
+	if resp.Merge.ShardsPruned == nil {
+		resp.Merge.ShardsPruned = []int{}
+	}
+	for i := range merged.Rows {
+		resp.Ranks = append(resp.Ranks, offset+i+1)
+	}
+	totalFetched := 0
+	for _, s := range rc.streams {
+		if resp.Columns == nil {
+			resp.Columns = s.columns
+		}
+		resp.CacheHit = resp.CacheHit && s.allCacheHit
+		// Stats are cumulative across the cursor's pages, mirroring the
+		// engine cursor: the last page's counters describe the whole
+		// enumeration so far.
+		resp.Stats.add(s.stats)
+		totalFetched += s.rowsFetched
+	}
+	resp.Merge.RowsFetched = totalFetched
+	r.metrics.recordQuery(rc.norm, elapsed, len(merged.Rows),
+		totalFetched-rc.rowsFetched, len(merged.Pruned), merged.Refills)
+	rc.rowsFetched = totalFetched
+	attrs := append([]any{
+		"trace", trace.ID, "query", rc.norm, "cursor", rc.ID,
+		"elapsed_ms", resp.ElapsedMS,
+		"rows", len(merged.Rows), "offset", offset,
+		"rows_fetched_total", totalFetched,
+		"shards_pruned", len(merged.Pruned), "refills", merged.Refills,
+	}, trace.SpanAttrs()...)
+	if r.slow > 0 && elapsed >= r.slow {
+		r.metrics.slow.Inc()
+		r.tracer.Warn("slow cursor page", attrs...)
+	} else {
+		r.tracer.Debug("cursor page", attrs...)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// cursorFetchError maps a failed page pull onto the wire: deadline
+// budgets get 504 (the cursor survives — rows already merged are parked
+// and served by the retry), shard-side invalidation closes the router
+// cursor with 409, client disconnects go unanswered.
+func (r *Router) cursorFetchError(w http.ResponseWriter, hr *http.Request, req *request, trace *obs.Trace, rc *routerCursor, err error) {
+	if ctxErr := hr.Context().Err(); ctxErr != nil {
+		return
+	}
+	if req.DeadlineMS > 0 && strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+		r.metrics.recordTimeout()
+		r.metrics.recordError(rc.norm)
+		r.tracer.Warn("cursor page deadline exceeded",
+			"trace", trace.ID, "cursor", rc.ID, "deadline_ms", req.DeadlineMS)
+		writeJSON(w, http.StatusGatewayTimeout,
+			errorResponse{fmt.Sprintf("cursor fetch exceeded deadline_ms=%d", req.DeadlineMS)})
+		return
+	}
+	if cursorDead(err) {
+		// The caller holds rc.mu, so unregister and tear down inline
+		// rather than via cursorTable.close (which re-locks rc.mu).
+		r.cursors.remove(rc.ID)
+		for _, s := range rc.streams {
+			s.closeRemote()
+		}
+		r.metrics.recordError(rc.norm)
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		return
+	}
+	r.metrics.recordError(rc.norm)
+	writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
+}

@@ -23,20 +23,21 @@ type Stream interface {
 	Fetch(n int) (rows [][]interface{}, scores []float64, exhausted bool, err error)
 }
 
-// Merged is the result of a threshold top-k merge over shard streams.
+// Merged is one page of a threshold top-k merge over shard streams.
 type Merged struct {
 	Rows   [][]interface{}
 	Scores []float64
 	// Origin[i] is the index of the stream that produced row i.
 	Origin []int
-	// Exhausted reports whether every stream ran dry before k rows were
-	// assembled (the merged result is the complete answer).
+	// Exhausted reports whether every stream ran dry before the page was
+	// filled (the merged stream is complete; further pages are empty).
 	Exhausted bool
 	// Pruned lists streams cut off by the threshold bound: their tails
-	// were never fetched because the k-th result already dominated every
-	// score they could still produce.
+	// were never fetched because the last emitted result already
+	// dominated every score they could still produce.
 	Pruned []int
-	// Refills counts follow-up fetches beyond each stream's initial one.
+	// Refills counts follow-up fetches beyond each stream's initial one,
+	// attributed to this page (a Merger reports per-page deltas).
 	Refills int
 }
 
@@ -137,34 +138,67 @@ func beats(b float64, bi int, s float64, si int) bool {
 	return b > s || (b == s && bi < si)
 }
 
-// MergeTopK runs a threshold-algorithm-style merge over ranked shard
-// streams: initial fetches of initialK rows per stream proceed in
-// parallel, then rows are drawn in globally non-increasing score order
-// via a max-heap. A stream whose fetched prefix is consumed is refilled
-// (prefix doubling) only while its score bound can still affect the
-// next output row; once the k-th result dominates a stream's bound, the
-// stream is pruned — its tail is never fetched. k <= 0 merges
-// everything (each stream is fetched fully up front).
-func MergeTopK(streams []Stream, k, initialK int) (*Merged, error) {
-	if len(streams) == 0 {
-		return &Merged{Exhausted: true}, nil
-	}
-	cursors := make([]*cursor, len(streams))
-	for i, s := range streams {
-		cursors[i] = &cursor{stream: s}
-	}
+// Merger is a resumable threshold merge over ranked shard streams: the
+// per-shard cursors (fetched prefixes, consumption positions) and the
+// head heap survive between Next calls, so pulling page N continues
+// exactly where page N-1 stopped — streams are refilled only while
+// their score bound still matters, and never re-fetched from the start.
+// A Merger is the router-side half of a ranked cursor; it is not safe
+// for concurrent use.
+type Merger struct {
+	cursors  []*cursor
+	h        headHeap
+	initialK int
+	first    int
+	step     int
+	started  bool
+	refilled int // refills already attributed to earlier pages
 
-	// Initial fetch, in parallel: shards compute their local top-k'
-	// concurrently, so the fan-out costs one shard round-trip, not N.
-	first := initialK
+	// An interrupted Next has already consumed rows from the per-stream
+	// prefixes; they are parked here so the retry delivers them instead
+	// of silently skipping ranks.
+	pendingRows   [][]interface{}
+	pendingScores []float64
+	pendingOrigin []int
+}
+
+// NewMerger builds a resumable merge over the given streams. initialK
+// is the per-stream depth of the (parallel) first fetch, issued lazily
+// on the first Next call.
+func NewMerger(streams []Stream, initialK int) *Merger {
+	m := &Merger{initialK: initialK}
+	for _, s := range streams {
+		m.cursors = append(m.cursors, &cursor{stream: s})
+	}
+	return m
+}
+
+// SetStep switches refill growth from prefix doubling to additive steps
+// of step rows. Doubling suits streams that re-execute on every refill
+// (fewer round trips amortize the repeated enumeration); cursor-backed
+// streams fetch deltas at cost proportional to the delta, so additive
+// growth keeps total enumeration depth close to what the consumed pages
+// actually needed.
+func (m *Merger) SetStep(step int) { m.step = step }
+
+// start issues the initial parallel fetch: shards compute their local
+// top-k' concurrently, so the fan-out costs one shard round-trip, not
+// N. Safe to retry after an error — already-fetched streams are
+// skipped.
+func (m *Merger) start(k int) error {
+	first := m.initialK
 	if k <= 0 {
 		first = 0 // fetch everything
 	} else if first <= 0 {
 		first = k
 	}
+	m.first = first
 	var wg sync.WaitGroup
-	errs := make([]error, len(cursors))
-	for i, c := range cursors {
+	errs := make([]error, len(m.cursors))
+	for i, c := range m.cursors {
+		if c.fetched {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, c *cursor) {
 			defer wg.Done()
@@ -174,23 +208,57 @@ func MergeTopK(streams []Stream, k, initialK int) (*Merged, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			return err
+		}
+	}
+	m.started = true
+	for i, c := range m.cursors {
+		if c.pos < len(c.scores) {
+			heap.Push(&m.h, headEntry{c.scores[c.pos], i})
+		}
+	}
+	return nil
+}
+
+// Next pulls the next page of up to k rows from the merged ranked
+// stream (all remaining rows when k <= 0). Rows are drawn in globally
+// non-increasing score order via the persistent max-heap; a dormant
+// stream is refilled (prefix doubling) only while its score bound can
+// still affect the next output row. Pruned and Refills describe this
+// page; Exhausted reports that the whole merged stream has run dry.
+func (m *Merger) Next(k int) (*Merged, error) {
+	out := &Merged{}
+	if len(m.cursors) == 0 {
+		out.Exhausted = true
+		return out, nil
+	}
+	if !m.started {
+		if err := m.start(k); err != nil {
 			return nil, err
 		}
 	}
 
-	out := &Merged{}
-	h := &headHeap{}
-	for i, c := range cursors {
-		if c.pos < len(c.scores) {
-			heap.Push(h, headEntry{c.scores[c.pos], i})
+	// Serve rows parked by an interrupted page first.
+	if len(m.pendingRows) > 0 {
+		take := len(m.pendingRows)
+		if k > 0 && take > k {
+			take = k
 		}
+		out.Rows = append(out.Rows, m.pendingRows[:take]...)
+		out.Scores = append(out.Scores, m.pendingScores[:take]...)
+		out.Origin = append(out.Origin, m.pendingOrigin[:take]...)
+		m.pendingRows = m.pendingRows[take:]
+		m.pendingScores = m.pendingScores[take:]
+		m.pendingOrigin = m.pendingOrigin[take:]
 	}
-	for k <= 0 || len(out.Rows) < k {
+
+	h := &m.h
+	for (k <= 0 || len(out.Rows) < k) && len(m.pendingRows) == 0 {
 		// Refill any dormant stream whose bound could place a row ahead
 		// of the best buffered head (or any, when nothing is buffered).
 		for {
 			refill := -1
-			for i, c := range cursors {
+			for i, c := range m.cursors {
 				if c.pos < len(c.scores) || c.exhausted {
 					continue
 				}
@@ -202,12 +270,20 @@ func MergeTopK(streams []Stream, k, initialK int) (*Merged, error) {
 			if refill < 0 {
 				break
 			}
-			c := cursors[refill]
+			c := m.cursors[refill]
 			want := 2 * len(c.scores)
-			if want < first {
-				want = first
+			if m.step > 0 {
+				want = len(c.scores) + m.step
+			}
+			if want < m.first {
+				want = m.first
 			}
 			if err := c.fetch(want); err != nil {
+				// Rows already popped this page must not be lost; park
+				// them for the retry.
+				m.pendingRows = append(out.Rows, m.pendingRows...)
+				m.pendingScores = append(out.Scores, m.pendingScores...)
+				m.pendingOrigin = append(out.Origin, m.pendingOrigin...)
 				return nil, err
 			}
 			if c.pos < len(c.scores) {
@@ -219,7 +295,7 @@ func MergeTopK(streams []Stream, k, initialK int) (*Merged, error) {
 			break
 		}
 		top := heap.Pop(h).(headEntry)
-		c := cursors[top.idx]
+		c := m.cursors[top.idx]
 		out.Rows = append(out.Rows, c.rows[c.pos])
 		out.Scores = append(out.Scores, c.scores[c.pos])
 		out.Origin = append(out.Origin, top.idx)
@@ -229,20 +305,48 @@ func MergeTopK(streams []Stream, k, initialK int) (*Merged, error) {
 		}
 	}
 
+	totalRefills := 0
 	drained := true
-	for i, c := range cursors {
-		out.Refills += c.refills
+	for i, c := range m.cursors {
+		totalRefills += c.refills
 		if !c.exhausted {
-			// The merge ended while this stream still had unfetched rows:
-			// the threshold bound proved they cannot displace the result.
+			// The page ended while this stream still had unfetched rows:
+			// the threshold bound proved they cannot displace the result
+			// so far.
 			out.Pruned = append(out.Pruned, i)
 		}
 		if !c.exhausted || c.pos < len(c.scores) {
 			drained = false
 		}
 	}
-	if drained {
+	out.Refills = totalRefills - m.refilled
+	m.refilled = totalRefills
+	if drained && len(m.pendingRows) == 0 {
 		out.Exhausted = true
 	}
 	return out, nil
+}
+
+// Exhausted reports whether the merged stream has run dry (every stream
+// exhausted and fully consumed, nothing parked).
+func (m *Merger) Exhausted() bool {
+	if !m.started {
+		return false
+	}
+	if len(m.pendingRows) > 0 {
+		return false
+	}
+	for _, c := range m.cursors {
+		if !c.exhausted || c.pos < len(c.scores) {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeTopK runs a one-shot threshold merge: NewMerger plus a single
+// Next(k). k <= 0 merges everything (each stream is fetched fully up
+// front).
+func MergeTopK(streams []Stream, k, initialK int) (*Merged, error) {
+	return NewMerger(streams, initialK).Next(k)
 }

@@ -50,6 +50,7 @@ type Router struct {
 	tracer  *slog.Logger
 	slow    time.Duration
 	pprof   bool
+	cursors *cursorTable
 
 	mu        sync.Mutex
 	tables    map[string]*tableInfo
@@ -106,6 +107,15 @@ func WithPprof() Option {
 	return func(r *Router) { r.pprof = true }
 }
 
+// WithCursorTTL enables idle-cursor garbage collection: router cursors
+// unused for longer than ttl are closed (their shard-side cursors
+// released), and later /cursor/next calls naming them get a clean
+// "expired" error. ttl <= 0 (the default) keeps cursors until the
+// client closes them.
+func WithCursorTTL(ttl time.Duration) Option {
+	return func(r *Router) { r.cursors.ttl = ttl }
+}
+
 // New builds a Router over the given shard base URLs (http://host:port).
 func New(shardURLs []string, opts ...Option) (*Router, error) {
 	if len(shardURLs) == 0 {
@@ -116,10 +126,17 @@ func New(shardURLs []string, opts ...Option) (*Router, error) {
 		logf:      log.Printf,
 		metrics:   newMetrics(),
 		tracer:    slog.Default(),
+		cursors:   newCursorTable(),
 		tables:    map[string]*tableInfo{},
 		templates: map[string]*template{},
 		stmts:     map[string]*template{},
 	}
+	r.metrics.reg.GaugeFunc("ranksql_router_open_cursors",
+		"Ranked cursors currently open on the router (each pins per-shard stream positions).",
+		func() float64 { return float64(r.cursors.count()) })
+	r.metrics.reg.GaugeFunc("ranksql_router_cursors_expired_total",
+		"Router cursors collected by the idle-cursor TTL GC.",
+		func() float64 { return float64(r.cursors.expiredCount()) })
 	for i, u := range shardURLs {
 		u = strings.TrimRight(strings.TrimSpace(u), "/")
 		if u == "" {
@@ -149,6 +166,8 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/prepare", r.post(r.handlePrepare))
 	mux.HandleFunc("/stmt/close", r.post(r.handleStmtClose))
 	mux.HandleFunc("/query", r.post(r.handleQuery))
+	mux.HandleFunc("/cursor/next", r.post(r.handleCursorNext))
+	mux.HandleFunc("/cursor/close", r.post(r.handleCursorClose))
 	mux.HandleFunc("/exec", r.post(r.handleExec))
 	mux.HandleFunc("/load", r.handleLoad)
 	mux.HandleFunc("/stats", r.handleStats)
@@ -213,6 +232,14 @@ type request struct {
 	// remaining budget. Expiry fails the request with 504 and counts as
 	// a distinct timeout metric.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Cursor on /query opens a resumable ranked cursor instead of a
+	// one-shot merge; CursorID/Fetch/AfterRank drive /cursor/next and
+	// /cursor/close. The same fields travel to the shards, whose servers
+	// speak the identical protocol.
+	Cursor    bool   `json:"cursor,omitempty"`
+	CursorID  string `json:"cursor_id,omitempty"`
+	Fetch     int    `json:"fetch,omitempty"`
+	AfterRank int    `json:"after_rank,omitempty"`
 }
 
 type errorResponse struct {
@@ -458,17 +485,24 @@ type mergeInfo struct {
 }
 
 type queryResponse struct {
-	Columns   []string        `json:"columns"`
-	Rows      [][]interface{} `json:"rows"`
-	Scores    []float64       `json:"scores"`
-	CacheHit  bool            `json:"cache_hit"`
-	K         int             `json:"k"`
-	Depth     int             `json:"depth"`
-	Exhausted bool            `json:"exhausted"`
-	Stats     queryStats      `json:"stats"`
-	Merge     mergeInfo       `json:"merge"`
-	ElapsedMS float64         `json:"elapsed_ms"`
-	TraceID   string          `json:"trace_id,omitempty"`
+	Columns []string        `json:"columns"`
+	Rows    [][]interface{} `json:"rows"`
+	Scores  []float64       `json:"scores"`
+	// Ranks[i] is row i's 1-based position in the cluster-wide stable
+	// total order (score desc, then shard index asc, then shard
+	// insertion order); cursor pages continue the numbering where the
+	// previous page stopped.
+	Ranks     []int      `json:"ranks"`
+	CacheHit  bool       `json:"cache_hit"`
+	K         int        `json:"k"`
+	Depth     int        `json:"depth"`
+	Offset    int        `json:"offset,omitempty"`
+	Exhausted bool       `json:"exhausted"`
+	CursorID  string     `json:"cursor_id,omitempty"`
+	Stats     queryStats `json:"stats"`
+	Merge     mergeInfo  `json:"merge"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	TraceID   string     `json:"trace_id,omitempty"`
 }
 
 // perShardK picks the initial per-shard fetch depth for a client top-k:
@@ -522,6 +556,11 @@ func (r *Router) handleQuery(w http.ResponseWriter, hr *http.Request, req *reque
 		}
 	}
 
+	if req.Cursor {
+		r.handleCursorOpen(w, hr, req, trace, t, k)
+		return
+	}
+
 	ctx := hr.Context()
 	if req.DeadlineMS > 0 {
 		var cancel context.CancelFunc
@@ -559,6 +598,7 @@ func (r *Router) handleQuery(w http.ResponseWriter, hr *http.Request, req *reque
 	resp := queryResponse{
 		Rows:      merged.Rows,
 		Scores:    merged.Scores,
+		Ranks:     make([]int, 0, len(merged.Rows)),
 		CacheHit:  true,
 		K:         k,
 		Depth:     len(merged.Rows),
@@ -578,6 +618,9 @@ func (r *Router) handleQuery(w http.ResponseWriter, hr *http.Request, req *reque
 	}
 	if resp.Merge.ShardsPruned == nil {
 		resp.Merge.ShardsPruned = []int{}
+	}
+	for i := range merged.Rows {
+		resp.Ranks = append(resp.Ranks, i+1)
 	}
 	for _, s := range hs {
 		if resp.Columns == nil {
@@ -993,6 +1036,13 @@ func (r *Router) handleStats(w http.ResponseWriter, hr *http.Request) {
 	snap := r.metrics.snapshot()
 	snap.Shards = len(r.shards)
 	snap.ShardHealth = r.probeShards()
+	snap.Cursors = CursorSnapshot{
+		Open:    r.cursors.count(),
+		Opened:  r.metrics.cursorsOpened.Value(),
+		Expired: r.cursors.expiredCount(),
+		Hits:    r.metrics.cursorHits.Value(),
+		Misses:  r.metrics.cursorMisses.Value(),
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -75,10 +75,13 @@ type testQueryResponse struct {
 	Columns   []string        `json:"columns"`
 	Rows      [][]interface{} `json:"rows"`
 	Scores    []float64       `json:"scores"`
+	Ranks     []int           `json:"ranks"`
 	CacheHit  bool            `json:"cache_hit"`
 	K         int             `json:"k"`
 	Depth     int             `json:"depth"`
+	Offset    int             `json:"offset"`
 	Exhausted bool            `json:"exhausted"`
+	CursorID  string          `json:"cursor_id"`
 	Merge     struct {
 		Shards       int   `json:"shards"`
 		ShardsPruned []int `json:"shards_pruned"`

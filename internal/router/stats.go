@@ -36,6 +36,12 @@ type metrics struct {
 	rowsFetched       *obs.Counter
 	rowsReturned      *obs.Counter
 
+	// Ranked-cursor lifecycle counters (the open-cursor gauge is a
+	// GaugeFunc registered by New over the cursor table).
+	cursorsOpened *obs.Counter
+	cursorHits    *obs.Counter
+	cursorMisses  *obs.Counter
+
 	mu       sync.Mutex
 	started  time.Time
 	perQuery map[string]*templateMetrics
@@ -75,6 +81,12 @@ func newMetrics() *metrics {
 			"Rows fetched from shards."),
 		rowsReturned: reg.Counter("ranksql_router_rows_returned_total",
 			"Merged rows returned to clients."),
+		cursorsOpened: reg.Counter("ranksql_router_cursors_opened_total",
+			"Ranked cursors opened via /query with cursor=true."),
+		cursorHits: reg.Counter("ranksql_router_cursor_hits_total",
+			"/cursor/next calls that resolved a live cursor."),
+		cursorMisses: reg.Counter("ranksql_router_cursor_misses_total",
+			"/cursor/next calls naming an unknown or expired cursor."),
 		started:  time.Now(),
 		perQuery: map[string]*templateMetrics{},
 	}
@@ -178,8 +190,20 @@ type Snapshot struct {
 	// (1.0 would be a perfect oracle; lower overfetch is better).
 	FetchAmplification float64 `json:"fetch_amplification"`
 
+	// Cursors summarizes the router's resumable ranked cursors.
+	Cursors CursorSnapshot `json:"cursors"`
+
 	PerQuery    []TemplateStats `json:"per_query"`
 	ShardHealth []ShardStatus   `json:"shard_health"`
+}
+
+// CursorSnapshot is the ranked-cursor block of the /stats payload.
+type CursorSnapshot struct {
+	Open    int    `json:"open"`
+	Opened  uint64 `json:"opened_total"`
+	Expired uint64 `json:"expired_total"`
+	Hits    uint64 `json:"hits_total"`
+	Misses  uint64 `json:"misses_total"`
 }
 
 func (m *metrics) snapshot() Snapshot {

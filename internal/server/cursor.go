@@ -1,0 +1,330 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ranksql"
+	"ranksql/internal/obs"
+)
+
+// serverCursor is one client-visible resumable ranked stream: the
+// engine cursor plus the bookkeeping the wire protocol needs (rank
+// offset, default page size, the template for metrics attribution).
+type serverCursor struct {
+	ID      string
+	Created time.Time
+
+	// lastUsed drives TTL expiry; guarded by the owning cursorTable's
+	// mutex, like Session.lastUsed.
+	lastUsed time.Time
+
+	mu       sync.Mutex // serializes pulls on this cursor
+	cur      *ranksql.Cursor
+	norm     string // normalized template, for per-template metrics
+	pageSize int    // default fetch size for /cursor/next
+}
+
+// maxOpenCursors bounds concurrently open cursors server-wide: each one
+// pins a suspended operator tree (heaps, frontiers, buffered tuples),
+// so clients that never /cursor/close cannot grow memory without limit.
+const maxOpenCursors = 4096
+
+// cursorTable manages the server's open cursors, mirroring
+// sessionTable: when ttl > 0, cursors idle longer than ttl are
+// garbage-collected lazily on table access (their operator trees are
+// released), and later requests naming them get a clean "expired"
+// error rather than "unknown".
+type cursorTable struct {
+	ttl time.Duration
+
+	mu        sync.Mutex
+	m         map[string]*serverCursor
+	expired   map[string]time.Time
+	nExpired  uint64
+	lastSweep time.Time
+	nextID    uint64
+}
+
+func newCursorTable() *cursorTable {
+	now := time.Now()
+	return &cursorTable{
+		m:         map[string]*serverCursor{},
+		expired:   map[string]time.Time{},
+		lastSweep: now,
+	}
+}
+
+// add registers an opened cursor and mints its id.
+func (t *cursorTable) add(cur *ranksql.Cursor, norm string, pageSize int) (*serverCursor, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	t.maybeSweepLocked(now)
+	if len(t.m) >= maxOpenCursors {
+		return nil, fmt.Errorf("server already holds %d open cursors; close some via /cursor/close", len(t.m))
+	}
+	t.nextID++
+	c := &serverCursor{
+		ID:       fmt.Sprintf("cur-%d", t.nextID),
+		Created:  now,
+		lastUsed: now,
+		cur:      cur,
+		norm:     norm,
+		pageSize: pageSize,
+	}
+	t.m[c.ID] = c
+	return c, nil
+}
+
+// get resolves a cursor id and refreshes its idle timer. Unknown and
+// expired cursors fail with distinct errors.
+func (t *cursorTable) get(id string) (*serverCursor, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	t.maybeSweepLocked(now)
+	c, ok := t.m[id]
+	if !ok {
+		if when, was := t.expired[id]; was {
+			return nil, fmt.Errorf("cursor %q expired after %s idle (at %s); re-open the query",
+				id, t.ttl, when.Format(time.RFC3339))
+		}
+		return nil, fmt.Errorf("no cursor %q", id)
+	}
+	c.lastUsed = now
+	return c, nil
+}
+
+// close removes a cursor and releases its operator tree.
+func (t *cursorTable) close(id string) bool {
+	t.mu.Lock()
+	c, ok := t.m[id]
+	if ok {
+		delete(t.m, id)
+	}
+	t.mu.Unlock()
+	if ok {
+		_ = c.cur.Close()
+	}
+	return ok
+}
+
+// maybeSweepLocked garbage-collects idle cursors at the same lazy
+// cadence sessions use (at most once per ttl/sweepInterval). Callers
+// hold t.mu.
+func (t *cursorTable) maybeSweepLocked(now time.Time) {
+	if t.ttl <= 0 || now.Sub(t.lastSweep) < t.ttl/sweepInterval {
+		return
+	}
+	t.sweepLocked(now)
+}
+
+func (t *cursorTable) sweepLocked(now time.Time) {
+	t.lastSweep = now
+	for id, c := range t.m {
+		if now.Sub(c.lastUsed) <= t.ttl {
+			continue
+		}
+		delete(t.m, id)
+		_ = c.cur.Close()
+		if len(t.expired) >= maxRememberedExpiries {
+			t.expired = map[string]time.Time{}
+		}
+		t.expired[id] = now
+		t.nExpired++
+	}
+}
+
+// expireNow force-runs a sweep against the given clock (test hook).
+func (t *cursorTable) expireNow(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked(now)
+}
+
+// count reports open cursors.
+func (t *cursorTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// expiredCount reports how many cursors the TTL GC has collected.
+func (t *cursorTable) expiredCount() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nExpired
+}
+
+// defaultCursorPage is the fetch size when neither the request nor the
+// statement's LIMIT suggests one.
+const defaultCursorPage = 10
+
+// handleCursorOpen serves a /query request carrying "cursor": true: it
+// opens a resumable ranked cursor over the statement, pulls the first
+// page, and returns it with the cursor_id for /cursor/next.
+func (s *Server) handleCursorOpen(w http.ResponseWriter, r *http.Request, req *request, trace *obs.Trace, stmt *ranksql.Stmt, args []interface{}) {
+	endOpen := trace.StartSpan("cursor_open")
+	cur, err := stmt.Cursor(args...)
+	endOpen()
+	if err != nil {
+		s.metrics.recordError(stmt.Normalized())
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	pageSize := req.Fetch
+	if pageSize <= 0 {
+		if pageSize = cur.K(); pageSize <= 0 {
+			pageSize = defaultCursorPage
+		}
+	}
+	sc, err := s.cursors.add(cur, stmt.Normalized(), pageSize)
+	if err != nil {
+		_ = cur.Close()
+		s.metrics.recordError(stmt.Normalized())
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+		return
+	}
+	s.metrics.cursorsOpened.Inc()
+	s.fetchCursorPage(w, r, req, trace, sc, pageSize, 0)
+}
+
+// handleCursorNext serves POST /cursor/next {cursor_id, fetch?,
+// after_rank?}: the next page of a suspended ranked stream. after_rank
+// skips forward to resume "after rank r" (cursors cannot rewind).
+func (s *Server) handleCursorNext(w http.ResponseWriter, r *http.Request, req *request) {
+	trace := obs.NewTrace(obs.TraceIDFrom(r))
+	w.Header().Set(obs.TraceHeader, trace.ID)
+	sc, err := s.cursors.get(req.CursorID)
+	if err != nil {
+		s.metrics.cursorMisses.Inc()
+		s.metrics.recordError("")
+		writeJSON(w, http.StatusNotFound, errorResponse{err.Error()})
+		return
+	}
+	s.metrics.cursorHits.Inc()
+	n := req.Fetch
+	if n <= 0 {
+		n = sc.pageSize
+	}
+	s.fetchCursorPage(w, r, req, trace, sc, n, req.AfterRank)
+}
+
+// handleCursorClose serves POST /cursor/close {cursor_id}.
+func (s *Server) handleCursorClose(w http.ResponseWriter, _ *http.Request, req *request) {
+	if !s.cursors.close(req.CursorID) {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no cursor %q", req.CursorID)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+}
+
+// fetchCursorPage pulls one page from a registered cursor and writes it
+// as a queryResponse. afterRank > 0 fast-forwards the stream so the
+// page starts at rank afterRank+1; a position already past it is an
+// error (ranked streams cannot rewind).
+func (s *Server) fetchCursorPage(w http.ResponseWriter, r *http.Request, req *request, trace *obs.Trace, sc *serverCursor, n, afterRank int) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	endFetch := trace.StartSpan("cursor_fetch")
+	if skip := afterRank - sc.cur.Pulled(); afterRank > 0 {
+		if skip < 0 {
+			endFetch()
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
+				"cursor %q is already past rank %d (at %d); ranked streams cannot rewind", sc.ID, afterRank, sc.cur.Pulled())})
+			return
+		}
+		if skip > 0 {
+			if _, err := sc.cur.FetchContext(ctx, skip); err != nil {
+				endFetch()
+				s.cursorFetchError(w, r, req, trace, sc, err)
+				return
+			}
+		}
+	}
+	rows, err := sc.cur.FetchContext(ctx, n)
+	endFetch()
+	if err != nil {
+		s.cursorFetchError(w, r, req, trace, sc, err)
+		return
+	}
+	elapsed := time.Since(start)
+	s.metrics.recordQuery(sc.norm, elapsed, rows)
+
+	offset := sc.cur.Pulled() - rows.Len()
+	resp := queryResponse{
+		Columns:   rows.Columns,
+		Rows:      make([][]interface{}, 0, rows.Len()),
+		Scores:    rows.Scores,
+		Ranks:     make([]int, 0, rows.Len()),
+		CacheHit:  rows.CacheHit,
+		K:         rows.K,
+		Depth:     rows.Len(),
+		Offset:    offset,
+		Exhausted: rows.Exhausted,
+		CursorID:  sc.ID,
+		Stats: queryStats{
+			TuplesScanned: rows.Stats.TuplesScanned,
+			PredEvals:     rows.Stats.PredEvals,
+			Comparisons:   rows.Stats.Comparisons,
+			JoinProbes:    rows.Stats.JoinProbes,
+			PeakBuffered:  rows.Stats.PeakBuffered,
+			PredCostUnits: rows.Stats.PredCostUnits,
+		},
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		TraceID:   trace.ID,
+	}
+	for i := 0; i < rows.Len(); i++ {
+		vals := rows.At(i)
+		row := make([]interface{}, len(vals))
+		for j, v := range vals {
+			row[j] = v.Any()
+		}
+		resp.Rows = append(resp.Rows, row)
+		resp.Ranks = append(resp.Ranks, offset+i+1)
+	}
+	if resp.Scores == nil {
+		resp.Scores = []float64{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// cursorFetchError maps a failed pull onto the wire: deadline budgets
+// get 504 (the cursor survives and can be pulled again), invalidation
+// closes the cursor with 409, client disconnects go unanswered.
+func (s *Server) cursorFetchError(w http.ResponseWriter, r *http.Request, req *request, trace *obs.Trace, sc *serverCursor, err error) {
+	ctx := r.Context()
+	if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		s.metrics.recordTimeout()
+		s.metrics.recordError(sc.norm)
+		s.tracer.Warn("cursor fetch deadline exceeded",
+			"trace", trace.ID, "cursor", sc.ID, "deadline_ms", req.DeadlineMS)
+		writeJSON(w, http.StatusGatewayTimeout,
+			errorResponse{fmt.Sprintf("cursor fetch exceeded deadline_ms=%d", req.DeadlineMS)})
+		return
+	}
+	if ctx.Err() != nil {
+		return
+	}
+	if errors.Is(err, ranksql.ErrCursorInvalidated) || errors.Is(err, ranksql.ErrCursorClosed) {
+		s.cursors.close(sc.ID)
+		s.metrics.recordError(sc.norm)
+		writeJSON(w, http.StatusConflict, errorResponse{err.Error()})
+		return
+	}
+	s.metrics.recordError(sc.norm)
+	writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+}

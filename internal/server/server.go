@@ -15,7 +15,10 @@
 //	POST /session/close  {session_id}                      -> {closed}
 //	POST /prepare        {sql, session_id?}                -> {stmt_id, num_params, is_query, normalized}
 //	POST /stmt/close     {stmt_id, session_id?}            -> {closed}
-//	POST /query          {sql | stmt_id [+session_id], params?} -> {columns, rows, scores, k, depth, exhausted, cache_hit, stats, elapsed_ms}
+//	POST /query          {sql | stmt_id [+session_id], params?} -> {columns, rows, scores, ranks, k, depth, exhausted, cache_hit, stats, elapsed_ms}
+//	POST /query          {..., cursor: true, fetch?}            -> first page + {cursor_id, offset}
+//	POST /cursor/next    {cursor_id, fetch?, after_rank?}       -> next page
+//	POST /cursor/close   {cursor_id}                            -> {closed}
 //	POST /exec           {sql | stmt_id [+session_id], params?} -> {rows_affected, message}
 //	POST /load?table=t&header=0|1  (CSV body)              -> {rows_loaded}
 //	GET  /stats                                            -> Snapshot
@@ -52,6 +55,7 @@ import (
 type Server struct {
 	db       *ranksql.DB
 	sessions *sessionTable
+	cursors  *cursorTable
 	metrics  *metrics
 	logf     func(format string, args ...interface{})
 	tracer   *slog.Logger
@@ -90,9 +94,15 @@ func WithPprof() Option {
 // WithSessionTTL enables idle-session garbage collection: a session
 // untouched for longer than ttl is closed (its prepared statements are
 // released), and later requests naming it get a clean "expired" error.
-// The default session is never collected. ttl <= 0 disables expiry.
+// The default session is never collected. The same TTL governs idle
+// ranked cursors: one untouched for ttl is closed (its suspended
+// operator tree is released) and later pulls get a clean "expired"
+// error. ttl <= 0 disables expiry for both.
 func WithSessionTTL(ttl time.Duration) Option {
-	return func(s *Server) { s.sessions.ttl = ttl }
+	return func(s *Server) {
+		s.sessions.ttl = ttl
+		s.cursors.ttl = ttl
+	}
 }
 
 // New builds a Server over an opened database. The caller seeds the
@@ -101,6 +111,7 @@ func New(db *ranksql.DB, opts ...Option) *Server {
 	s := &Server{
 		db:       db,
 		sessions: newSessionTable(),
+		cursors:  newCursorTable(),
 		metrics:  newMetrics(),
 		logf:     log.Printf,
 		tracer:   slog.Default(),
@@ -108,11 +119,15 @@ func New(db *ranksql.DB, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
-	// Scrape-time gauges over state owned elsewhere: sessions and the
-	// engine's plan cache.
+	// Scrape-time gauges over state owned elsewhere: sessions, cursors
+	// and the engine's plan cache.
 	reg := s.metrics.reg
 	reg.GaugeFunc("ranksqld_sessions", "Open sessions.",
 		func() float64 { return float64(s.sessions.count()) })
+	reg.GaugeFunc("ranksqld_open_cursors", "Open ranked cursors (suspended operator trees).",
+		func() float64 { return float64(s.cursors.count()) })
+	reg.GaugeFunc("ranksqld_cursors_expired_total", "Cursors collected by the idle TTL.",
+		func() float64 { return float64(s.cursors.expiredCount()) })
 	reg.GaugeFunc("ranksqld_plan_cache_entries", "Compiled plans cached.",
 		func() float64 { return float64(s.db.PlanCacheStats().Entries) })
 	reg.GaugeFunc("ranksqld_plan_cache_hits_total", "Plan cache hits.",
@@ -136,6 +151,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/prepare", s.post(s.handlePrepare))
 	mux.HandleFunc("/stmt/close", s.post(s.handleStmtClose))
 	mux.HandleFunc("/query", s.post(s.handleQuery))
+	mux.HandleFunc("/cursor/next", s.post(s.handleCursorNext))
+	mux.HandleFunc("/cursor/close", s.post(s.handleCursorClose))
 	mux.HandleFunc("/exec", s.post(s.handleExec))
 	mux.HandleFunc("/load", s.handleLoad)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -196,6 +213,18 @@ type request struct {
 	// query still running when it expires is cancelled, the request
 	// fails with 504, and the timeout is counted as its own metric.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Cursor asks /query to open a resumable ranked cursor instead of
+	// materializing one batch: the response carries the first page plus
+	// a cursor_id for /cursor/next.
+	Cursor bool `json:"cursor,omitempty"`
+	// CursorID names an open cursor (/cursor/next, /cursor/close).
+	CursorID string `json:"cursor_id,omitempty"`
+	// Fetch is the page size for cursor opens and pulls (default: the
+	// statement's LIMIT, else 10).
+	Fetch int `json:"fetch,omitempty"`
+	// AfterRank makes /cursor/next fast-forward the stream so the page
+	// starts at rank after_rank+1 (streams cannot rewind).
+	AfterRank int `json:"after_rank,omitempty"`
 }
 
 type errorResponse struct {
@@ -313,14 +342,25 @@ type queryStats struct {
 }
 
 type queryResponse struct {
-	Columns  []string        `json:"columns"`
-	Rows     [][]interface{} `json:"rows"`
-	Scores   []float64       `json:"scores"`
-	CacheHit bool            `json:"cache_hit"`
+	Columns []string        `json:"columns"`
+	Rows    [][]interface{} `json:"rows"`
+	Scores  []float64       `json:"scores"`
+	// Ranks[i] is row i's 1-based position in the query's stable total
+	// order (score desc, with the engine's deterministic insertion
+	// tie-break; sharded responses add the shard index to the
+	// tie-break). Cursor pages continue the numbering across pulls, so
+	// paginated clients can stitch pages into one ranked feed.
+	Ranks    []int `json:"ranks"`
+	CacheHit bool  `json:"cache_hit"`
 	// K is the effective top-k bound the query ran under (0 = no LIMIT).
 	K int `json:"k"`
 	// Depth is the number of ranked rows produced (== len(rows)).
 	Depth int `json:"depth"`
+	// Offset is the number of rows the stream delivered before this
+	// page (0 for plain queries; cursor pages advance it).
+	Offset int `json:"offset,omitempty"`
+	// CursorID is set when the response is a page of an open cursor.
+	CursorID string `json:"cursor_id,omitempty"`
 	// Exhausted marks that the ranked stream ran dry at depth Depth: no
 	// rows exist beyond the returned ones. When false the stream was cut
 	// off by LIMIT, and a larger k could surface more rows — the signal a
@@ -352,6 +392,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 		return
 	}
 	endResolve()
+
+	if req.Cursor {
+		s.handleCursorOpen(w, r, req, trace, stmt, args)
+		return
+	}
 
 	ctx := r.Context()
 	if req.DeadlineMS > 0 {
@@ -402,6 +447,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 		Columns:   rows.Columns,
 		Rows:      make([][]interface{}, 0, rows.Len()),
 		Scores:    rows.Scores,
+		Ranks:     make([]int, 0, rows.Len()),
 		CacheHit:  rows.CacheHit,
 		K:         rows.K,
 		Depth:     rows.Len(),
@@ -424,6 +470,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 			row[j] = v.Any()
 		}
 		resp.Rows = append(resp.Rows, row)
+		resp.Ranks = append(resp.Ranks, i+1)
 	}
 	if resp.Scores == nil {
 		resp.Scores = []float64{}
@@ -498,6 +545,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	snap.Sessions = s.sessions.count()
 	snap.SessionsExpired = s.sessions.expiredCount()
+	snap.Cursors = CursorSnapshot{
+		Open:    s.cursors.count(),
+		Opened:  s.metrics.cursorsOpened.Value(),
+		Expired: s.cursors.expiredCount(),
+		Hits:    s.metrics.cursorHits.Value(),
+		Misses:  s.metrics.cursorMisses.Value(),
+	}
 	snap.TablesServed = s.db.Tables()
 	writeJSON(w, http.StatusOK, snap)
 }

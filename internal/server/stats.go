@@ -39,6 +39,10 @@ type metrics struct {
 	rowsOut  *obs.Counter   // ranked rows returned
 	scanned  *obs.Counter   // base-table tuples read
 
+	cursorsOpened *obs.Counter // ranked cursors opened
+	cursorHits    *obs.Counter // /cursor/next pulls that found a live cursor
+	cursorMisses  *obs.Counter // /cursor/next pulls naming an unknown/expired cursor
+
 	mu      sync.Mutex
 	started time.Time
 
@@ -101,6 +105,12 @@ func newMetrics() *metrics {
 		latency:  reg.Histogram("ranksqld_query_duration_seconds", "Query wall time."),
 		rowsOut:  reg.Counter("ranksqld_rows_returned_total", "Ranked rows returned to clients."),
 		scanned:  reg.Counter("ranksqld_tuples_scanned_total", "Base-table tuples read by queries."),
+		cursorsOpened: reg.Counter("ranksqld_cursors_opened_total",
+			"Ranked cursors opened via /query cursor=true."),
+		cursorHits: reg.Counter("ranksqld_cursor_hits_total",
+			"/cursor/next pulls that found a live cursor."),
+		cursorMisses: reg.Counter("ranksqld_cursor_misses_total",
+			"/cursor/next pulls naming an unknown or expired cursor."),
 		started:  time.Now(),
 		perQuery: map[string]*templateMetrics{},
 	}
@@ -243,9 +253,24 @@ type Snapshot struct {
 	Latency         obs.Summary     `json:"latency"`
 	Sessions        int             `json:"sessions"`
 	SessionsExpired uint64          `json:"sessions_expired"`
+	Cursors         CursorSnapshot  `json:"cursors"`
 	PerQuery        []TemplateStats `json:"per_query"`
 	PlanCache       CacheSnapshot   `json:"plan_cache"`
 	TablesServed    []string        `json:"tables"`
+}
+
+// CursorSnapshot is the ranked-cursor block of the /stats payload.
+type CursorSnapshot struct {
+	// Open counts live cursors (each pins a suspended operator tree).
+	Open int `json:"open"`
+	// Opened counts cursors ever opened; Expired those the TTL GC
+	// collected.
+	Opened  uint64 `json:"opened"`
+	Expired uint64 `json:"expired"`
+	// Hits/Misses count /cursor/next pulls that found a live cursor
+	// versus ones naming an unknown or expired cursor.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 // CacheSnapshot mirrors the plan cache counters in the /stats payload.

@@ -496,6 +496,98 @@ func (s *Stmt) Exec(args ...interface{}) (*Result, error) {
 	return &Result{RowsAffected: res.RowsAffected, Message: res.Message}, nil
 }
 
+// ErrCursorInvalidated is returned by Cursor.Fetch when DDL changed the
+// schema after the cursor was opened; the cursor is closed and must be
+// re-opened.
+var ErrCursorInvalidated = engine.ErrCursorInvalidated
+
+// ErrCursorClosed is returned by Cursor.Fetch after Close.
+var ErrCursorClosed = engine.ErrCursorClosed
+
+// Cursor is a resumable ranked stream over a SELECT or set-operation
+// statement: the operator tree is opened once and suspended between
+// pulls, so fetching page N costs only the incremental work past page
+// N-1 — no re-planning, no re-execution of earlier pages. Pages come
+// back in the query's score order; a LIMIT k in the statement tunes the
+// plan for depth k but does not cap the stream.
+//
+// The stream is a consistent snapshot of the data as of open (inserts
+// landing between pulls are not seen); DDL invalidates the cursor.
+type Cursor struct {
+	c *engine.Cursor
+}
+
+// Cursor opens a resumable ranked cursor over a SELECT or set-operation
+// statement. Repeated SELECT templates share the plan cache with Query.
+func (db *DB) Cursor(sql string) (*Cursor, error) {
+	c, err := db.eng.QueryCursor(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{c: c}, nil
+}
+
+// Cursor opens a resumable ranked cursor over the prepared query with
+// the given parameter values.
+func (s *Stmt) Cursor(args ...interface{}) (*Cursor, error) {
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.p.Cursor(params)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{c: c}, nil
+}
+
+// Fetch pulls the next n rows from the suspended stream. The page's
+// Exhausted reports whether the stream ran dry; Stats are cumulative
+// across every pull of this cursor.
+func (c *Cursor) Fetch(n int) (*Rows, error) {
+	rows, err := c.c.Fetch(n)
+	if err != nil {
+		return nil, err
+	}
+	return wrapRows(rows), nil
+}
+
+// FetchContext is Fetch with cancellation: when ctx is done, the pull is
+// interrupted at the next cancellation point (the cursor stays usable).
+func (c *Cursor) FetchContext(ctx context.Context, n int) (*Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rows, err := c.c.FetchCancel(n, ctx.Done())
+	if err != nil {
+		if errors.Is(err, exec.ErrInterrupted) && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	return wrapRows(rows), nil
+}
+
+// Close releases the cursor's suspended operator tree. Idempotent.
+func (c *Cursor) Close() error { return c.c.Close() }
+
+// Pulled returns the total number of rows fetched so far (the 0-based
+// rank of the next row).
+func (c *Cursor) Pulled() int { return c.c.Pulled() }
+
+// Exhausted reports whether the stream has run dry.
+func (c *Cursor) Exhausted() bool { return c.c.Exhausted() }
+
+// Columns returns the qualified output column names.
+func (c *Cursor) Columns() []string { return c.c.Columns() }
+
+// CacheHit reports whether opening the cursor reused a cached plan.
+func (c *Cursor) CacheHit() bool { return c.c.CacheHit() }
+
+// K returns the statement's LIMIT — the depth hint the plan was tuned
+// for (0 when the statement had none). The stream itself is not capped.
+func (c *Cursor) K() int { return c.c.K() }
+
 // QueryContext runs a (possibly parameterized) SELECT with cancellation.
 // It is one-shot sugar for Prepare + Stmt.QueryContext; repeated templates
 // still hit the plan cache.
