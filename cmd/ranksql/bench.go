@@ -45,7 +45,9 @@ func runBench(args []string) {
 	routerMode := fs.Bool("router", false, "drive a sharded cluster: self-host -shards in-process ranksqld shards behind a router (or treat -addr as a router)")
 	numShards := fs.Int("shards", 2, "shard count for the self-hosted router cluster")
 	jsonPath := fs.String("json", "", "write the machine-readable benchmark report to this file")
+	insightPath := fs.String("insight", "", "after the run, dump the service's /insight/templates workload profile to this file")
 	validate := fs.String("validate", "", "validate an existing benchmark report file and exit (CI schema check)")
+	compare := fs.Bool("compare", false, "compare two report files (bench -compare old.json new.json) and warn on >10% p95-latency or per-request resource regressions")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -54,6 +56,21 @@ func runBench(args []string) {
 			log.Fatalf("bench: validate %s: %v", *validate, err)
 		}
 		fmt.Printf("%s: valid benchmark report\n", *validate)
+		return
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			log.Fatalf("bench: -compare needs exactly two report files (old new), got %d", fs.NArg())
+		}
+		warnings, err := compareReports(fs.Arg(0), fs.Arg(1))
+		if err != nil {
+			log.Fatalf("bench: compare: %v", err)
+		}
+		if warnings > 0 {
+			fmt.Printf("%d regression warning(s) — see above\n", warnings)
+		} else {
+			fmt.Println("no regressions: p95 latency and per-request resources within 10% of baseline")
+		}
 		return
 	}
 	if *concurrency < 1 || *requests < 1 || *k < 1 {
@@ -316,6 +333,10 @@ func runBench(args []string) {
 			RefillsTotal:            stats.RefillsTotal,
 			FetchAmplification:      stats.FetchAmplification,
 		}
+		report.Resources = &resourceReport{
+			RowsScanned:        int64(stats.TuplesScannedTotal),
+			TuplesMaterialized: int64(stats.TuplesMaterializedTotal),
+		}
 		fmt.Printf("\n== router /stats ==\n")
 		fmt.Printf("shards=%d queries=%d execs=%d errors=%d avg=%.2fms\n",
 			stats.Shards, stats.Queries, stats.Execs, stats.Errors, stats.AvgQueryMS)
@@ -327,6 +348,7 @@ func runBench(args []string) {
 			fmt.Printf("  %6d× pruned=%d refills=%d avg=%.2fms  %s\n",
 				q.Count, q.ShardsPruned, q.Refills, q.AvgMS, truncate(q.Query, 80))
 		}
+		dumpInsight(base, *insightPath)
 		writeReport(*jsonPath, &report)
 		return
 	}
@@ -351,7 +373,111 @@ func runBench(args []string) {
 		fmt.Printf("  %6d× avg_depth_k=%.1f max_depth_k=%d avg=%.2fms  %s\n",
 			q.Count, q.AvgDepthK, q.MaxDepthK, q.AvgMS, truncate(q.Query, 80))
 	}
+	report.Resources = &resourceReport{
+		RowsScanned:          int64(stats.Resources.TuplesScanned),
+		TuplesMaterialized:   int64(stats.Resources.TuplesMaterialized),
+		CursorPinnedBytesMax: stats.Resources.CursorPinnedBytesMax,
+	}
+	fmt.Printf("resources: %d tuples scanned, %d materialized, cursor pinned max %dB\n",
+		report.Resources.RowsScanned, report.Resources.TuplesMaterialized,
+		report.Resources.CursorPinnedBytesMax)
+	dumpInsight(base, *insightPath)
 	writeReport(*jsonPath, &report)
+}
+
+// dumpInsight fetches the service's /insight/templates profile and
+// writes it verbatim, so CI can upload the workload's depth-k and drift
+// breakdown alongside the perf report.
+func dumpInsight(base, path string) {
+	if path == "" {
+		return
+	}
+	var raw json.RawMessage
+	if err := getJSON(base+"/insight/templates", &raw); err != nil {
+		log.Fatalf("bench: insight: %v", err)
+	}
+	if err := os.WriteFile(path, append([]byte(raw), '\n'), 0o644); err != nil {
+		log.Fatalf("bench: writing %s: %v", path, err)
+	}
+	fmt.Printf("insight profile written to %s\n", path)
+}
+
+// compareReports is the regression check behind `bench -compare old
+// new`: it validates both reports, then warns (without failing — run
+// conditions differ across machines) when the new run's p95 latency or
+// per-request resource use grew more than 10% over the baseline, or its
+// throughput dropped more than 10%.
+func compareReports(oldPath, newPath string) (warnings int, err error) {
+	load := func(path string) (*benchReport, error) {
+		if err := validateReport(path); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r benchReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, err
+		}
+		return &r, nil
+	}
+	oldR, err := load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newR, err := load(newPath)
+	if err != nil {
+		return 0, err
+	}
+	if oldR.Mode != newR.Mode {
+		return 0, fmt.Errorf("mode mismatch: %s is %q, %s is %q", oldPath, oldR.Mode, newPath, newR.Mode)
+	}
+	fmt.Printf("baseline %s (%s)  vs  %s\n", oldPath, oldR.GeneratedAt, newPath)
+
+	warn := func(format string, args ...interface{}) {
+		warnings++
+		fmt.Printf("WARNING: "+format+"\n", args...)
+	}
+	const slack = 1.10
+	fmt.Printf("p95 latency  %.2fms -> %.2fms\n", oldR.Latency.P95MS, newR.Latency.P95MS)
+	if oldR.Latency.P95MS > 0 && newR.Latency.P95MS > oldR.Latency.P95MS*slack {
+		warn("p95 latency grew %.1f%% (%.2fms -> %.2fms)",
+			100*(newR.Latency.P95MS/oldR.Latency.P95MS-1), oldR.Latency.P95MS, newR.Latency.P95MS)
+	}
+	fmt.Printf("qps          %.0f -> %.0f\n", oldR.QPS, newR.QPS)
+	if newR.QPS < oldR.QPS/slack {
+		warn("throughput dropped %.1f%% (%.0f -> %.0f qps)",
+			100*(1-newR.QPS/oldR.QPS), oldR.QPS, newR.QPS)
+	}
+	// Resource counters are lifetime totals; normalize per request so
+	// baselines with different -requests stay comparable.
+	if oldR.Resources != nil && newR.Resources != nil {
+		perReq := func(r *benchReport, v int64) float64 {
+			n := r.Requests + r.Warmup
+			if n < 1 {
+				n = 1
+			}
+			return float64(v) / float64(n)
+		}
+		check := func(name string, ov, nv int64) {
+			o, n := perReq(oldR, ov), perReq(newR, nv)
+			fmt.Printf("%-12s %.1f -> %.1f per request\n", name, o, n)
+			if o > 0 && n > o*slack {
+				warn("%s per request grew %.1f%% (%.1f -> %.1f)", name, 100*(n/o-1), o, n)
+			}
+		}
+		check("scanned", oldR.Resources.RowsScanned, newR.Resources.RowsScanned)
+		check("materialized", oldR.Resources.TuplesMaterialized, newR.Resources.TuplesMaterialized)
+		o, n := oldR.Resources.CursorPinnedBytesMax, newR.Resources.CursorPinnedBytesMax
+		fmt.Printf("%-12s %d -> %d bytes\n", "pinned max", o, n)
+		if o > 0 && float64(n) > float64(o)*slack {
+			warn("max pinned cursor bytes grew %.1f%% (%d -> %d)", 100*(float64(n)/float64(o)-1), o, n)
+		}
+	} else if oldR.Resources == nil && newR.Resources != nil {
+		fmt.Println("baseline predates resource accounting; skipping resource comparison")
+	}
+	return warnings, nil
 }
 
 // benchReport is the machine-readable result written by -json and
@@ -373,9 +499,21 @@ type benchReport struct {
 	MaxMS        float64           `json:"max_ms"`
 	CacheHitRate float64           `json:"cache_hit_rate"`
 	Violations   int64             `json:"violations"`
+	Resources    *resourceReport   `json:"resources,omitempty"`
 	Pruning      *pruningReport    `json:"pruning,omitempty"`
 	Pagination   *paginationReport `json:"pagination,omitempty"`
 	GeneratedAt  string            `json:"generated_at"`
+}
+
+// resourceReport is the service-side resource accounting for the whole
+// run (warm-up included — it is the daemon's lifetime view), read from
+// /stats after the measured window. CursorPinnedBytesMax is the largest
+// single-cursor suspended-state footprint seen (0 for the router, which
+// holds no engine cursor state itself).
+type resourceReport struct {
+	RowsScanned          int64 `json:"rows_scanned"`
+	TuplesMaterialized   int64 `json:"tuples_materialized"`
+	CursorPinnedBytesMax int64 `json:"cursor_pinned_bytes_max"`
 }
 
 // paginationReport captures the -paginate scenario: cursor throughput
@@ -462,6 +600,15 @@ func validateReport(path string) error {
 	}
 	if r.Violations != 0 {
 		return fmt.Errorf("report records %d ranking violations", r.Violations)
+	}
+	if res := r.Resources; res != nil {
+		if res.RowsScanned <= 0 {
+			return fmt.Errorf("resources.rows_scanned = %d, want > 0 for a query workload", res.RowsScanned)
+		}
+		if res.TuplesMaterialized < 0 || res.CursorPinnedBytesMax < 0 {
+			return fmt.Errorf("negative resource counters: materialized=%d pinned_max=%d",
+				res.TuplesMaterialized, res.CursorPinnedBytesMax)
+		}
 	}
 	if p := r.Pagination; p != nil {
 		if p.Pages < 1 || p.PageSize < 1 || p.Sessions < 1 {

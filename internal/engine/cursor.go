@@ -321,6 +321,9 @@ func (c *Cursor) FetchCancel(n int, cancel <-chan struct{}) (*Rows, error) {
 	rows.Profiled = tree.Profiled()
 	if c.cp != nil {
 		rows.Plan = c.cp.Plan
+		if rows.Profiled {
+			rows.Est = PlanEstimates(c.cp.Plan, tree)
+		}
 	}
 	c.pulled += len(tuples)
 	if len(tuples) < n {
@@ -374,3 +377,29 @@ func (c *Cursor) CacheHit() bool { return c.cacheHit }
 // K returns the statement's LIMIT (the plan-tuning depth hint; 0 when
 // the statement had none).
 func (c *Cursor) K() int { return c.k }
+
+// pinnedTupleBytes is the accounting estimate for one tuple held in a
+// suspended operator buffer: the Tuple struct (values header, score,
+// predicate scores, bitsets, TID) plus per-column value storage.
+const pinnedTupleBytes = 96
+
+const pinnedColumnBytes = 48
+
+// PinnedBytes estimates the memory pinned by the suspended operator
+// tree: tuples resident in ranking queues, hash tables and
+// materializations (Stats.Buffered) plus tuples parked by an
+// interrupted fetch, costed at a fixed per-tuple + per-column rate.
+// Closed cursors pin nothing. The estimate exists for observability
+// (the cursor_pinned_bytes gauge), not allocation-exact accounting.
+func (c *Cursor) PinnedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0
+	}
+	tuples := c.ctx.Stats.Buffered + int64(len(c.pending))
+	if tuples < 0 {
+		tuples = 0
+	}
+	return tuples * (pinnedTupleBytes + pinnedColumnBytes*int64(len(c.columns)))
+}

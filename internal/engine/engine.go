@@ -209,6 +209,12 @@ type Rows struct {
 	// timing (EXPLAIN ANALYZE always does; plain executions are sampled
 	// every DB.ProfileEvery-th run of a template).
 	Profiled bool
+	// Est holds the plan's estimated output cardinality per Tree node
+	// (parallel to Tree, pre-order), aligned by PlanEstimates on
+	// profiled executions. Empty when the execution was not profiled or
+	// the shapes could not be aligned; est-vs-actual drift is Tree[i].Out
+	// against Est[i].
+	Est []float64
 }
 
 // Exec runs any statement; for SELECT it returns (nil, *Rows via Query).

@@ -245,6 +245,7 @@ func analyzeRows(rows *Rows) *Rows {
 	out.Plan = rows.Plan
 	out.Tree = rows.Tree
 	out.Profiled = rows.Profiled
+	out.Est = rows.Est
 	out.ExecTree = rows.ExecTree
 	return out
 }
@@ -380,6 +381,9 @@ func (db *DB) execOperator(cp *CompiledPlan, op exec.Operator, cancel <-chan str
 		ExecTree: tree.String,
 		Tree:     tree,
 		Profiled: tree.Profiled(),
+	}
+	if rows.Profiled {
+		rows.Est = PlanEstimates(cp.Plan, tree)
 	}
 	for _, t := range tuples {
 		rows.Data = append(rows.Data, t.Values)

@@ -38,10 +38,17 @@ type Stats struct {
 	// (ranking queues, hash tables, materializations).
 	Buffered     int64
 	PeakBuffered int64
+	// Materialized counts every admission into an operator buffer — the
+	// cumulative tuples-materialized footprint of the execution. Unlike
+	// Buffered it never decreases when buffers drain.
+	Materialized int64
 }
 
 func (s *Stats) buffer(n int64) {
 	s.Buffered += n
+	if n > 0 {
+		s.Materialized += n
+	}
 	if s.Buffered > s.PeakBuffered {
 		s.PeakBuffered = s.Buffered
 	}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Build identification, stamped at link time:
+//
+//	go build -ldflags "-X ranksql/internal/obs.Version=v1.2.3 \
+//	                   -X ranksql/internal/obs.GitSHA=$(git rev-parse --short HEAD)" ./...
+//
+// Unstamped builds report "dev"/"unknown". Both daemons expose these as
+// a build_info metric (constant 1, identification in labels — the
+// Prometheus convention) and a build block in /stats.
+var (
+	Version = "dev"
+	GitSHA  = "unknown"
+)
+
+// BuildInfo is the /stats build block.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	GitSHA    string `json:"git_sha"`
+}
+
+// Build returns the running binary's build identification.
+func Build() BuildInfo {
+	return BuildInfo{Version: Version, GoVersion: runtime.Version(), GitSHA: GitSHA}
+}
+
+// RegisterBuildInfo registers the conventional build_info gauge
+// (constant value 1, identification carried in labels) under the given
+// metric family prefix, e.g. prefix "ranksqld" registers
+// ranksqld_build_info{...}.
+func RegisterBuildInfo(r *Registry, prefix string) {
+	b := Build()
+	name := fmt.Sprintf("%s_build_info{version=%q,go_version=%q,git_sha=%q}",
+		prefix, b.Version, b.GoVersion, b.GitSHA)
+	r.Gauge(name, "Build identification: constant 1, with version, Go version and git SHA as labels.").Set(1)
+}

@@ -34,7 +34,13 @@ type shardQueryResponse struct {
 	Exhausted bool            `json:"exhausted"`
 	CursorID  string          `json:"cursor_id"`
 	Stats     queryStats      `json:"stats"`
-	Error     string          `json:"error"`
+	// DepthKReached and MaxDriftRatio arrive on shard executions the
+	// shard's engine profiled: its depth of enumeration and worst
+	// est-vs-actual cardinality miss, which the router folds into its
+	// per-shard insight attribution.
+	DepthKReached int64   `json:"depth_k"`
+	MaxDriftRatio float64 `json:"max_drift_ratio"`
+	Error         string  `json:"error"`
 }
 
 // postJSON posts a JSON body to the shard, carrying the query context
@@ -105,14 +111,16 @@ func (sc *shardClient) cursorNext(ctx context.Context, trace string, req *reques
 }
 
 // cursorClose releases a shard-side ranked cursor. Best-effort: the
-// shard's idle-cursor GC collects it anyway if this call is lost.
-func (sc *shardClient) cursorClose(id string) error {
+// shard's idle-cursor GC collects it anyway if this call is lost. The
+// trace ID travels with the close so the shard's log line correlates
+// with the pulls that preceded it.
+func (sc *shardClient) cursorClose(trace, id string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	var out struct {
 		Error string `json:"error"`
 	}
-	if err := sc.postJSON(ctx, "/cursor/close", "", &request{CursorID: id}, &out); err != nil {
+	if err := sc.postJSON(ctx, "/cursor/close", trace, &request{CursorID: id}, &out); err != nil {
 		return err
 	}
 	if out.Error != "" {

@@ -229,6 +229,22 @@ type cursorStream struct {
 	allCacheHit bool
 	stats       queryStats
 	rowsFetched int // rows actually shipped from the shard (delta accounting)
+	// depthK/driftRatio are the worst shard-reported enumeration depth
+	// and estimate miss across this stream's pulls (0 when the shard
+	// never profiled one).
+	depthK     int64
+	driftRatio float64
+}
+
+// noteProfile folds one shard response's profiling figures (present
+// only on shard-profiled executions) into the stream's worst-case view.
+func (s *cursorStream) noteProfile(resp *shardQueryResponse) {
+	if resp.DepthKReached > s.depthK {
+		s.depthK = resp.DepthKReached
+	}
+	if resp.MaxDriftRatio > s.driftRatio {
+		s.driftRatio = resp.MaxDriftRatio
+	}
 }
 
 // cursorGone reports a shard error meaning the shard no longer holds
@@ -304,6 +320,7 @@ func (s *cursorStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
 		s.columns = resp.Columns
 		s.allCacheHit = resp.CacheHit
 		s.stats = resp.Stats
+		s.noteProfile(resp)
 		s.rowsFetched += len(resp.Rows)
 		s.fetched = true
 	}
@@ -328,6 +345,7 @@ func (s *cursorStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
 		s.exhausted = resp.Exhausted
 		// Shard cursor stats are cumulative across its pulls.
 		s.stats = resp.Stats
+		s.noteProfile(resp)
 		s.rowsFetched += len(resp.Rows)
 	}
 	return s.rows, s.scores, s.exhausted, nil
@@ -368,6 +386,7 @@ func (s *cursorStream) refetchPlain(n, deadlineMS int) ([][]interface{}, []float
 	// Re-execution repeats the enumeration; its whole cost (and row
 	// volume) is added so the savings accounting stays honest.
 	s.stats.add(resp.Stats)
+	s.noteProfile(resp)
 	s.rowsFetched += len(resp.Rows)
 	s.fetched = true
 	return s.rows, s.scores, s.exhausted, nil
@@ -380,14 +399,15 @@ func (s *cursorStream) traceID() string {
 	return s.trace.ID
 }
 
-// closeRemote releases the shard-side cursor (best-effort).
+// closeRemote releases the shard-side cursor (best-effort), reusing the
+// cursor's last trace ID so the shard's close log line joins the pulls.
 func (s *cursorStream) closeRemote() {
 	if s.cursorID == "" {
 		return
 	}
 	id := s.cursorID
 	s.cursorID = ""
-	_ = s.sc.cursorClose(id)
+	_ = s.sc.cursorClose(s.traceID(), id)
 }
 
 // openShardCursor opens a ranked cursor on one shard via the prepared
@@ -484,13 +504,26 @@ func (r *Router) handleCursorNext(w http.ResponseWriter, hr *http.Request, req *
 	r.fetchCursorPage(w, hr, req, trace, rc, n, req.AfterRank)
 }
 
-// handleCursorClose serves POST /cursor/close {cursor_id}.
-func (r *Router) handleCursorClose(w http.ResponseWriter, _ *http.Request, req *request) {
+// handleCursorClose serves POST /cursor/close {cursor_id}, propagating
+// X-Ranksql-Trace so the router's close and each shard's close share
+// one trace ID.
+func (r *Router) handleCursorClose(w http.ResponseWriter, hr *http.Request, req *request) {
+	trace := obs.NewTrace(obs.TraceIDFrom(hr))
+	w.Header().Set(obs.TraceHeader, trace.ID)
+	rc, err := r.cursors.get(req.CursorID)
+	if err == nil {
+		rc.mu.Lock()
+		for _, s := range rc.streams {
+			s.trace = trace
+		}
+		rc.mu.Unlock()
+	}
 	if !r.cursors.close(req.CursorID) {
 		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no cursor %q", req.CursorID)})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+	r.tracer.Debug("cursor closed", "trace", trace.ID, "cursor", req.CursorID)
+	writeJSON(w, http.StatusOK, map[string]interface{}{"closed": true, "trace_id": trace.ID})
 }
 
 // fetchCursorPage pulls one page from a registered router cursor and
@@ -584,6 +617,12 @@ func (r *Router) fetchCursorPage(w http.ResponseWriter, hr *http.Request, req *r
 	r.metrics.recordQuery(rc.norm, elapsed, len(merged.Rows),
 		totalFetched-rc.rowsFetched, len(merged.Pruned), merged.Refills)
 	rc.rowsFetched = totalFetched
+	views := make([]shardView, len(rc.streams))
+	for i, s := range rc.streams {
+		views[i] = shardView{rowsFetched: s.rowsFetched, depthK: s.depthK, driftRatio: s.driftRatio}
+	}
+	r.metrics.recordInsight(buildInsightRecord(
+		rc.norm, trace.ID, elapsed, resp.Stats, len(merged.Rows), views, merged.Pruned))
 	attrs := append([]any{
 		"trace", trace.ID, "query", rc.norm, "cursor", rc.ID,
 		"elapsed_ms", resp.ElapsedMS,

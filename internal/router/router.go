@@ -172,6 +172,8 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/load", r.handleLoad)
 	mux.HandleFunc("/stats", r.handleStats)
 	mux.Handle("/metrics", obs.Handler(r.metrics.reg))
+	mux.HandleFunc("/insight/workload", r.handleInsightWorkload)
+	mux.HandleFunc("/insight/templates", r.handleInsightTemplates)
 	mux.HandleFunc("/healthz", r.handleHealthz)
 	if r.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -463,6 +465,7 @@ type queryStats struct {
 	Comparisons   int64   `json:"comparisons"`
 	JoinProbes    int64   `json:"join_probes"`
 	PeakBuffered  int64   `json:"peak_buffered"`
+	Materialized  int64   `json:"tuples_materialized"`
 	PredCostUnits float64 `json:"pred_cost_units"`
 }
 
@@ -472,6 +475,7 @@ func (s *queryStats) add(o queryStats) {
 	s.Comparisons += o.Comparisons
 	s.JoinProbes += o.JoinProbes
 	s.PeakBuffered += o.PeakBuffered
+	s.Materialized += o.Materialized
 	s.PredCostUnits += o.PredCostUnits
 }
 
@@ -633,6 +637,12 @@ func (r *Router) handleQuery(w http.ResponseWriter, hr *http.Request, req *reque
 	resp.TraceID = trace.ID
 	r.metrics.recordQuery(t.norm, elapsed, len(merged.Rows), resp.Merge.RowsFetched,
 		len(merged.Pruned), merged.Refills)
+	views := make([]shardView, len(hs))
+	for i, s := range hs {
+		views[i] = shardView{rowsFetched: len(s.rows), depthK: s.depthK, driftRatio: s.driftRatio}
+	}
+	r.metrics.recordInsight(buildInsightRecord(
+		t.norm, trace.ID, elapsed, resp.Stats, len(merged.Rows), views, merged.Pruned))
 	attrs := append([]any{
 		"trace", trace.ID, "query", t.norm,
 		"elapsed_ms", float64(elapsed) / float64(time.Millisecond),
@@ -667,6 +677,11 @@ type httpStream struct {
 	rounds      int
 	allCacheHit bool
 	stats       queryStats
+	// depthK/driftRatio are the worst shard-reported enumeration depth
+	// and estimate miss across this stream's fetch rounds (0 when the
+	// shard never profiled one of them).
+	depthK     int64
+	driftRatio float64
 }
 
 func (s *httpStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
@@ -712,6 +727,12 @@ func (s *httpStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
 	}
 	s.allCacheHit = s.allCacheHit && resp.CacheHit
 	s.stats.add(resp.Stats)
+	if resp.DepthKReached > s.depthK {
+		s.depthK = resp.DepthKReached
+	}
+	if resp.MaxDriftRatio > s.driftRatio {
+		s.driftRatio = resp.MaxDriftRatio
+	}
 	s.fetched = true
 	return s.rows, s.scores, s.exhausted, nil
 }

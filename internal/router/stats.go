@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ranksql/internal/obs"
+	"ranksql/internal/obs/insight"
 )
 
 // maxTemplates bounds the per-template metrics map (ad-hoc literal SQL
@@ -35,6 +36,12 @@ type metrics struct {
 	refills           *obs.Counter
 	rowsFetched       *obs.Counter
 	rowsReturned      *obs.Counter
+
+	// Cluster-wide tuple traffic (summed over shard-reported stats) and
+	// the insight ring behind /insight/workload and /insight/templates.
+	scanned      *obs.Counter
+	materialized *obs.Counter
+	insight      *insight.Ring
 
 	// Ranked-cursor lifecycle counters (the open-cursor gauge is a
 	// GaugeFunc registered by New over the cursor table).
@@ -81,6 +88,11 @@ func newMetrics() *metrics {
 			"Rows fetched from shards."),
 		rowsReturned: reg.Counter("ranksql_router_rows_returned_total",
 			"Merged rows returned to clients."),
+		scanned: reg.Counter("ranksql_router_tuples_scanned_total",
+			"Base-table tuples scanned across all shards on behalf of merged queries."),
+		materialized: reg.Counter("ranksql_router_tuples_materialized_total",
+			"Tuples admitted into shard operator buffers on behalf of merged queries."),
+		insight: insight.NewRing(0),
 		cursorsOpened: reg.Counter("ranksql_router_cursors_opened_total",
 			"Ranked cursors opened via /query with cursor=true."),
 		cursorHits: reg.Counter("ranksql_router_cursor_hits_total",
@@ -92,6 +104,17 @@ func newMetrics() *metrics {
 	}
 	reg.GaugeFunc("ranksql_router_uptime_seconds", "Seconds since the router started.",
 		func() float64 { return time.Since(m.started).Seconds() })
+	obs.RegisterBuildInfo(reg, "ranksql_router")
+	reg.GaugeFunc("ranksql_router_insight_ring_depth", "Live records in the query-insight ring.",
+		func() float64 { return float64(m.insight.Depth()) })
+	reg.GaugeFunc("ranksql_router_insight_records_total", "Merged queries recorded into the insight ring.",
+		func() float64 { return float64(m.insight.Observed()) })
+	reg.GaugeFunc("ranksql_router_insight_records_with_estimates_total",
+		"Recorded queries where at least one shard reported estimate drift figures.",
+		func() float64 { return float64(m.insight.WithEstimates()) })
+	reg.GaugeFunc("ranksql_router_insight_high_drift_total",
+		"Recorded queries where some shard missed its cardinality estimate by >= 4x.",
+		func() float64 { return float64(m.insight.HighDrift()) })
 	return m
 }
 
@@ -164,17 +187,28 @@ type ShardStatus struct {
 	Healthy bool   `json:"healthy"`
 }
 
+// InsightSnapshot is the query-insight block of the router's /stats
+// payload (the full rolling profiles live at /insight/*).
+type InsightSnapshot struct {
+	RingDepth            int    `json:"ring_depth"`
+	RingCapacity         int    `json:"ring_capacity"`
+	Records              uint64 `json:"records"`
+	RecordsWithEstimates uint64 `json:"records_with_estimates"`
+	HighDriftRecords     uint64 `json:"high_drift_records"`
+}
+
 // Snapshot is the router's /stats payload.
 type Snapshot struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Shards        int     `json:"shards"`
-	Queries       uint64  `json:"queries"`
-	Execs         uint64  `json:"execs"`
-	Loads         uint64  `json:"loads"`
-	Errors        uint64  `json:"errors"`
-	Timeouts      uint64  `json:"timeouts"`
-	SlowQueries   uint64  `json:"slow_queries"`
-	AvgQueryMS    float64 `json:"avg_query_ms"`
+	Build         obs.BuildInfo `json:"build"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Shards        int           `json:"shards"`
+	Queries       uint64        `json:"queries"`
+	Execs         uint64        `json:"execs"`
+	Loads         uint64        `json:"loads"`
+	Errors        uint64        `json:"errors"`
+	Timeouts      uint64        `json:"timeouts"`
+	SlowQueries   uint64        `json:"slow_queries"`
+	AvgQueryMS    float64       `json:"avg_query_ms"`
 	// Latency summarizes the merged-query latency histogram (the same
 	// one /metrics exposes bucket by bucket).
 	Latency obs.Summary `json:"latency"`
@@ -189,6 +223,13 @@ type Snapshot struct {
 	// FetchAmplification is rows fetched from shards per row returned
 	// (1.0 would be a perfect oracle; lower overfetch is better).
 	FetchAmplification float64 `json:"fetch_amplification"`
+
+	// Cluster-wide tuple traffic, summed over shard-reported stats.
+	TuplesScannedTotal      uint64 `json:"tuples_scanned_total"`
+	TuplesMaterializedTotal uint64 `json:"tuples_materialized_total"`
+
+	// Insight summarizes the rolling query-insight ring.
+	Insight InsightSnapshot `json:"insight"`
 
 	// Cursors summarizes the router's resumable ranked cursors.
 	Cursors CursorSnapshot `json:"cursors"`
@@ -208,6 +249,7 @@ type CursorSnapshot struct {
 
 func (m *metrics) snapshot() Snapshot {
 	snap := Snapshot{
+		Build:                   obs.Build(),
 		Queries:                 m.queries.Value(),
 		Execs:                   m.execs.Value(),
 		Loads:                   m.loads.Value(),
@@ -220,6 +262,15 @@ func (m *metrics) snapshot() Snapshot {
 		RefillsTotal:            m.refills.Value(),
 		RowsFetchedTotal:        m.rowsFetched.Value(),
 		RowsReturnedTotal:       m.rowsReturned.Value(),
+		TuplesScannedTotal:      m.scanned.Value(),
+		TuplesMaterializedTotal: m.materialized.Value(),
+		Insight: InsightSnapshot{
+			RingDepth:            m.insight.Depth(),
+			RingCapacity:         m.insight.Capacity(),
+			Records:              m.insight.Observed(),
+			RecordsWithEstimates: m.insight.WithEstimates(),
+			HighDriftRecords:     m.insight.HighDrift(),
+		},
 	}
 	snap.AvgQueryMS = snap.Latency.MeanMS
 	if snap.RowsReturnedTotal > 0 {

@@ -161,6 +161,20 @@ func (t *cursorTable) expiredCount() uint64 {
 	return t.nExpired
 }
 
+// pinnedBytes sums the memory pinned by all open cursors' suspended
+// state (buffered tuples plus parked pages). Closed cursors report 0,
+// so the gauge falls as cursors close by any path — explicit close, TTL
+// GC, or DDL invalidation.
+func (t *cursorTable) pinnedBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total int64
+	for _, c := range t.m {
+		total += c.cur.PinnedBytes()
+	}
+	return total
+}
+
 // defaultCursorPage is the fetch size when neither the request nor the
 // statement's LIMIT suggests one.
 const defaultCursorPage = 10
@@ -215,13 +229,18 @@ func (s *Server) handleCursorNext(w http.ResponseWriter, r *http.Request, req *r
 	s.fetchCursorPage(w, r, req, trace, sc, n, req.AfterRank)
 }
 
-// handleCursorClose serves POST /cursor/close {cursor_id}.
-func (s *Server) handleCursorClose(w http.ResponseWriter, _ *http.Request, req *request) {
+// handleCursorClose serves POST /cursor/close {cursor_id}. Like the
+// other cursor endpoints it propagates X-Ranksql-Trace, so a client's
+// open → next → close sequence correlates across log lines.
+func (s *Server) handleCursorClose(w http.ResponseWriter, r *http.Request, req *request) {
+	trace := obs.NewTrace(obs.TraceIDFrom(r))
+	w.Header().Set(obs.TraceHeader, trace.ID)
 	if !s.cursors.close(req.CursorID) {
 		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no cursor %q", req.CursorID)})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"closed": true})
+	s.tracer.Debug("cursor closed", "trace", trace.ID, "cursor", req.CursorID)
+	writeJSON(w, http.StatusOK, map[string]interface{}{"closed": true, "trace_id": trace.ID})
 }
 
 // fetchCursorPage pulls one page from a registered cursor and writes it
@@ -262,7 +281,20 @@ func (s *Server) fetchCursorPage(w http.ResponseWriter, r *http.Request, req *re
 		return
 	}
 	elapsed := time.Since(start)
-	s.metrics.recordQuery(sc.norm, elapsed, rows)
+	pinned := sc.cur.PinnedBytes()
+	s.metrics.recordQuery(sc.norm, elapsed, rows, trace.ID, pinned)
+	if s.slow > 0 && elapsed >= s.slow {
+		s.metrics.slow.Inc()
+		attrs := append([]any{
+			"trace", trace.ID, "query", sc.norm, "cursor", sc.ID,
+			"elapsed_ms", float64(elapsed) / float64(time.Millisecond),
+			"rows", rows.Len(), "pinned_bytes", pinned,
+		}, trace.SpanAttrs()...)
+		if plan := planSnapshotJSON(rows); plan != "" {
+			attrs = append(attrs, "plan", plan)
+		}
+		s.tracer.Warn("slow cursor page", attrs...)
+	}
 
 	offset := sc.cur.Pulled() - rows.Len()
 	resp := queryResponse{
@@ -282,10 +314,16 @@ func (s *Server) fetchCursorPage(w http.ResponseWriter, r *http.Request, req *re
 			Comparisons:   rows.Stats.Comparisons,
 			JoinProbes:    rows.Stats.JoinProbes,
 			PeakBuffered:  rows.Stats.PeakBuffered,
+			Materialized:  rows.Stats.Materialized,
 			PredCostUnits: rows.Stats.PredCostUnits,
 		},
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 		TraceID:   trace.ID,
+	}
+	if rows.Profiled {
+		ops := rows.Operators()
+		resp.DepthKReached = maxLeafDepthK(ops)
+		resp.MaxDriftRatio = maxDriftRatio(ops)
 	}
 	for i := 0; i < rows.Len(); i++ {
 		vals := rows.At(i)

@@ -23,6 +23,8 @@
 //	POST /load?table=t&header=0|1  (CSV body)              -> {rows_loaded}
 //	GET  /stats                                            -> Snapshot
 //	GET  /metrics                                          -> Prometheus text format
+//	GET  /insight/workload                                 -> rolling workload summary (insight.Workload)
+//	GET  /insight/templates                                -> per-template profiles: depth-k distribution, p95 footprint, estimate drift
 //	GET  /healthz                                          -> {status: "ok"}
 //
 // Parameters bind positionally to `?` placeholders; JSON numbers without
@@ -134,6 +136,9 @@ func New(db *ranksql.DB, opts ...Option) *Server {
 		func() float64 { return float64(s.db.PlanCacheStats().Hits) })
 	reg.GaugeFunc("ranksqld_plan_cache_misses_total", "Plan cache misses.",
 		func() float64 { return float64(s.db.PlanCacheStats().Misses) })
+	reg.GaugeFunc("ranksqld_cursor_pinned_bytes",
+		"Bytes pinned by all open cursors' suspended state (buffered tuples and parked pages).",
+		func() float64 { return float64(s.cursors.pinnedBytes()) })
 	return s
 }
 
@@ -157,6 +162,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/load", s.handleLoad)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", obs.Handler(s.metrics.reg))
+	mux.HandleFunc("/insight/workload", s.handleInsightWorkload)
+	mux.HandleFunc("/insight/templates", s.handleInsightTemplates)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -338,6 +345,7 @@ type queryStats struct {
 	Comparisons   int64   `json:"comparisons"`
 	JoinProbes    int64   `json:"join_probes"`
 	PeakBuffered  int64   `json:"peak_buffered"`
+	Materialized  int64   `json:"tuples_materialized"`
 	PredCostUnits float64 `json:"pred_cost_units"`
 }
 
@@ -367,8 +375,15 @@ type queryResponse struct {
 	// sharded coordinator uses to bound this shard's remaining scores.
 	Exhausted bool       `json:"exhausted"`
 	Stats     queryStats `json:"stats"`
-	ElapsedMS float64    `json:"elapsed_ms"`
-	TraceID   string     `json:"trace_id,omitempty"`
+	// DepthKReached and MaxDriftRatio are filled on engine-profiled
+	// executions (every profile-every-th run of a template): the depth of
+	// enumeration actually reached and the worst est-vs-actual
+	// cardinality miss across plan nodes. A sharded coordinator uses
+	// them to attribute drift per shard without re-profiling.
+	DepthKReached int64   `json:"depth_k,omitempty"`
+	MaxDriftRatio float64 `json:"max_drift_ratio,omitempty"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	TraceID       string  `json:"trace_id,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *request) {
@@ -430,7 +445,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 		return
 	}
 	elapsed := time.Since(start)
-	s.metrics.recordQuery(stmt.Normalized(), elapsed, rows)
+	s.metrics.recordQuery(stmt.Normalized(), elapsed, rows, trace.ID, 0)
 	attrs := append([]any{
 		"trace", trace.ID, "query", stmt.Normalized(),
 		"elapsed_ms", float64(elapsed) / float64(time.Millisecond),
@@ -438,6 +453,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 	}, trace.SpanAttrs()...)
 	if s.slow > 0 && elapsed >= s.slow {
 		s.metrics.slow.Inc()
+		// The slow-query record carries the full executed plan with
+		// est-vs-actual deltas (EXPLAIN ANALYZE as JSON), so one log line
+		// is enough to see whether the query was slow because the
+		// optimizer misjudged it.
+		if plan := planSnapshotJSON(rows); plan != "" {
+			attrs = append(attrs, "plan", plan)
+		}
 		s.tracer.Warn("slow query", attrs...)
 	} else {
 		s.tracer.Debug("query", attrs...)
@@ -458,10 +480,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 			Comparisons:   rows.Stats.Comparisons,
 			JoinProbes:    rows.Stats.JoinProbes,
 			PeakBuffered:  rows.Stats.PeakBuffered,
+			Materialized:  rows.Stats.Materialized,
 			PredCostUnits: rows.Stats.PredCostUnits,
 		},
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 		TraceID:   trace.ID,
+	}
+	if rows.Profiled {
+		ops := rows.Operators()
+		resp.DepthKReached = maxLeafDepthK(ops)
+		resp.MaxDriftRatio = maxDriftRatio(ops)
 	}
 	for i := 0; i < rows.Len(); i++ {
 		vals := rows.At(i)
@@ -552,6 +580,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Hits:    s.metrics.cursorHits.Value(),
 		Misses:  s.metrics.cursorMisses.Value(),
 	}
+	snap.Resources.CursorPinnedBytes = s.cursors.pinnedBytes()
 	snap.TablesServed = s.db.Tables()
 	writeJSON(w, http.StatusOK, snap)
 }

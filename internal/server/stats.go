@@ -3,10 +3,12 @@ package server
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ranksql"
 	"ranksql/internal/obs"
+	"ranksql/internal/obs/insight"
 )
 
 // qpsWindow tracks request counts in per-second buckets over the last
@@ -38,10 +40,20 @@ type metrics struct {
 	latency  *obs.Histogram // query wall time, seconds
 	rowsOut  *obs.Counter   // ranked rows returned
 	scanned  *obs.Counter   // base-table tuples read
+	// materialized counts tuples admitted into operator buffers (heaps,
+	// hash tables, sort runs) — the memory-pressure counterpart of scanned.
+	materialized *obs.Counter
 
 	cursorsOpened *obs.Counter // ranked cursors opened
 	cursorHits    *obs.Counter // /cursor/next pulls that found a live cursor
 	cursorMisses  *obs.Counter // /cursor/next pulls naming an unknown/expired cursor
+
+	// insight is the rolling ring of sampled per-query resource records
+	// behind the /insight endpoints.
+	insight *insight.Ring
+	// pinnedMax is the high-water mark of bytes pinned by any single
+	// suspended cursor, observed at page-fetch time.
+	pinnedMax atomic.Int64
 
 	mu      sync.Mutex
 	started time.Time
@@ -105,18 +117,46 @@ func newMetrics() *metrics {
 		latency:  reg.Histogram("ranksqld_query_duration_seconds", "Query wall time."),
 		rowsOut:  reg.Counter("ranksqld_rows_returned_total", "Ranked rows returned to clients."),
 		scanned:  reg.Counter("ranksqld_tuples_scanned_total", "Base-table tuples read by queries."),
+		materialized: reg.Counter("ranksqld_tuples_materialized_total",
+			"Tuples admitted into operator buffers (heaps, hash tables, sort runs)."),
 		cursorsOpened: reg.Counter("ranksqld_cursors_opened_total",
 			"Ranked cursors opened via /query cursor=true."),
 		cursorHits: reg.Counter("ranksqld_cursor_hits_total",
 			"/cursor/next pulls that found a live cursor."),
 		cursorMisses: reg.Counter("ranksqld_cursor_misses_total",
 			"/cursor/next pulls naming an unknown or expired cursor."),
+		insight:  insight.NewRing(0),
 		started:  time.Now(),
 		perQuery: map[string]*templateMetrics{},
 	}
 	reg.GaugeFunc("ranksqld_uptime_seconds", "Seconds since the daemon started.",
 		func() float64 { return time.Since(m.started).Seconds() })
+	obs.RegisterBuildInfo(reg, "ranksqld")
+	reg.GaugeFunc("ranksqld_insight_ring_depth", "Live records in the query-insight ring.",
+		func() float64 { return float64(m.insight.Depth()) })
+	reg.GaugeFunc("ranksqld_insight_records_total", "Sampled executions recorded into the insight ring.",
+		func() float64 { return float64(m.insight.Observed()) })
+	reg.GaugeFunc("ranksqld_insight_records_with_estimates_total",
+		"Recorded executions that carried plan cardinality estimates.",
+		func() float64 { return float64(m.insight.WithEstimates()) })
+	reg.GaugeFunc("ranksqld_insight_high_drift_total",
+		"Recorded executions where some plan node missed its cardinality estimate by >= 4x.",
+		func() float64 { return float64(m.insight.HighDrift()) })
+	reg.GaugeFunc("ranksqld_cursor_pinned_bytes_max",
+		"High-water mark of bytes pinned by a single suspended cursor.",
+		func() float64 { return float64(m.pinnedMax.Load()) })
 	return m
+}
+
+// observePinned folds one cursor's pinned-bytes reading into the
+// high-water mark.
+func (m *metrics) observePinned(b int64) {
+	for {
+		cur := m.pinnedMax.Load()
+		if b <= cur || m.pinnedMax.CompareAndSwap(cur, b) {
+			return
+		}
+	}
 }
 
 // tickLocked registers one request into the QPS window.
@@ -133,12 +173,21 @@ func (m *metrics) tickLocked(now time.Time) {
 // recordQuery aggregates one SELECT execution: registry counters and
 // the latency histogram, the QPS window, the per-template aggregate,
 // and — when the engine profiled this execution — the template's
-// per-operator runtime profile.
-func (m *metrics) recordQuery(norm string, d time.Duration, rows *ranksql.Rows) {
+// per-operator runtime profile plus a query-insight record. pinned is
+// the bytes held by the query's suspended cursor state (0 for one-shot
+// queries); traceID ties the insight record to the request's log lines.
+func (m *metrics) recordQuery(norm string, d time.Duration, rows *ranksql.Rows, traceID string, pinned int64) {
 	m.queries.Inc()
 	m.latency.ObserveDuration(d)
 	m.rowsOut.Add(uint64(rows.Len()))
 	m.scanned.Add(uint64(rows.Stats.TuplesScanned))
+	m.materialized.Add(uint64(rows.Stats.Materialized))
+	if pinned > 0 {
+		m.observePinned(pinned)
+	}
+	if rows.Profiled {
+		m.recordInsight(norm, traceID, d, rows, pinned)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -234,15 +283,41 @@ type TemplateStats struct {
 	templateMetrics
 }
 
+// ResourceSnapshot is the resource-accounting block of the /stats
+// payload: cumulative tuple traffic plus the memory currently pinned by
+// suspended cursors.
+type ResourceSnapshot struct {
+	RowsReturned       uint64 `json:"rows_returned"`
+	TuplesScanned      uint64 `json:"tuples_scanned"`
+	TuplesMaterialized uint64 `json:"tuples_materialized"`
+	// CursorPinnedBytes is the bytes pinned by all currently open
+	// cursors; CursorPinnedBytesMax the largest single-cursor footprint
+	// observed.
+	CursorPinnedBytes    int64 `json:"cursor_pinned_bytes"`
+	CursorPinnedBytesMax int64 `json:"cursor_pinned_bytes_max"`
+}
+
+// InsightSnapshot is the query-insight block of the /stats payload:
+// ring occupancy and the lifetime drift counters (the full rolling
+// profiles live at /insight/workload and /insight/templates).
+type InsightSnapshot struct {
+	RingDepth            int    `json:"ring_depth"`
+	RingCapacity         int    `json:"ring_capacity"`
+	Records              uint64 `json:"records"`
+	RecordsWithEstimates uint64 `json:"records_with_estimates"`
+	HighDriftRecords     uint64 `json:"high_drift_records"`
+}
+
 // Snapshot is the /stats payload (server side; cache counters are merged
 // in by the handler).
 type Snapshot struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Queries       uint64  `json:"queries"`
-	Execs         uint64  `json:"execs"`
-	Errors        uint64  `json:"errors"`
-	Timeouts      uint64  `json:"timeouts"`
-	SlowQueries   uint64  `json:"slow_queries"`
+	Build         obs.BuildInfo `json:"build"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Queries       uint64        `json:"queries"`
+	Execs         uint64        `json:"execs"`
+	Errors        uint64        `json:"errors"`
+	Timeouts      uint64        `json:"timeouts"`
+	SlowQueries   uint64        `json:"slow_queries"`
 	// QPS is the recent rate over the sliding window; QPSTotal the
 	// since-start average.
 	QPS        float64 `json:"qps"`
@@ -250,13 +325,15 @@ type Snapshot struct {
 	AvgQueryMS float64 `json:"avg_query_ms"`
 	// Latency summarizes the query-latency histogram (the same one
 	// /metrics exposes bucket by bucket).
-	Latency         obs.Summary     `json:"latency"`
-	Sessions        int             `json:"sessions"`
-	SessionsExpired uint64          `json:"sessions_expired"`
-	Cursors         CursorSnapshot  `json:"cursors"`
-	PerQuery        []TemplateStats `json:"per_query"`
-	PlanCache       CacheSnapshot   `json:"plan_cache"`
-	TablesServed    []string        `json:"tables"`
+	Latency         obs.Summary      `json:"latency"`
+	Sessions        int              `json:"sessions"`
+	SessionsExpired uint64           `json:"sessions_expired"`
+	Cursors         CursorSnapshot   `json:"cursors"`
+	Resources       ResourceSnapshot `json:"resources"`
+	Insight         InsightSnapshot  `json:"insight"`
+	PerQuery        []TemplateStats  `json:"per_query"`
+	PlanCache       CacheSnapshot    `json:"plan_cache"`
+	TablesServed    []string         `json:"tables"`
 }
 
 // CursorSnapshot is the ranked-cursor block of the /stats payload.
@@ -311,6 +388,7 @@ func (m *metrics) snapshot() Snapshot {
 		secs = windowSeconds
 	}
 	snap := Snapshot{
+		Build:         obs.Build(),
 		UptimeSeconds: uptime,
 		Queries:       queries,
 		Execs:         execs,
@@ -318,6 +396,19 @@ func (m *metrics) snapshot() Snapshot {
 		Timeouts:      m.timeouts.Value(),
 		SlowQueries:   m.slow.Value(),
 		Latency:       m.latency.Summarize(),
+		Resources: ResourceSnapshot{
+			RowsReturned:         m.rowsOut.Value(),
+			TuplesScanned:        m.scanned.Value(),
+			TuplesMaterialized:   m.materialized.Value(),
+			CursorPinnedBytesMax: m.pinnedMax.Load(),
+		},
+		Insight: InsightSnapshot{
+			RingDepth:            m.insight.Depth(),
+			RingCapacity:         m.insight.Capacity(),
+			Records:              m.insight.Observed(),
+			RecordsWithEstimates: m.insight.WithEstimates(),
+			HighDriftRecords:     m.insight.HighDrift(),
+		},
 	}
 	if secs > 0 {
 		snap.QPS = float64(recent) / float64(secs)

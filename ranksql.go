@@ -125,6 +125,11 @@ type Stats struct {
 	Comparisons   int64
 	JoinProbes    int64
 	PeakBuffered  int64
+	// Materialized counts every tuple admitted into an operator buffer
+	// (ranking queues, hash tables, sort materializations) over the whole
+	// execution — the cumulative materialization footprint. Unlike
+	// PeakBuffered it never shrinks as buffers drain.
+	Materialized int64
 }
 
 // Rows is a materialized query result.
@@ -156,6 +161,7 @@ type Rows struct {
 
 	execTree func() string
 	tree     exec.TreeSnapshot
+	est      []float64
 	pos      int
 }
 
@@ -178,6 +184,12 @@ type OpProfile struct {
 	TimeMS float64
 	// Calls counts Open/Next invocations; zero unless Profiled.
 	Calls int64
+	// EstRows is the optimizer's estimated output cardinality for this
+	// node, aligned from the compiled plan on profiled executions; -1 when
+	// no estimate is available (unprofiled run, EXPLAIN-less statement, or
+	// an executed tree whose shape could not be matched to the plan).
+	// Rows against EstRows is the node's estimate drift.
+	EstRows float64
 }
 
 // Operators returns the executed plan's per-operator runtime profile in
@@ -187,12 +199,16 @@ func (r *Rows) Operators() []OpProfile {
 	out := make([]OpProfile, len(r.tree))
 	for i, n := range r.tree {
 		out[i] = OpProfile{
-			Depth:  n.Depth,
-			Name:   n.Label,
-			Rows:   n.Out,
-			DepthK: n.DepthK,
-			TimeMS: float64(n.TimeNS) / 1e6,
-			Calls:  n.Calls,
+			Depth:   n.Depth,
+			Name:    n.Label,
+			Rows:    n.Out,
+			DepthK:  n.DepthK,
+			TimeMS:  float64(n.TimeNS) / 1e6,
+			Calls:   n.Calls,
+			EstRows: -1,
+		}
+		if i < len(r.est) {
+			out[i].EstRows = r.est[i]
 		}
 	}
 	return out
@@ -314,6 +330,7 @@ func wrapRows(rows *engine.Rows) *Rows {
 		Stats:     convertStats(rows.Stats),
 		execTree:  rows.ExecTree,
 		tree:      rows.Tree,
+		est:       rows.Est,
 		Profiled:  rows.Profiled,
 		CacheHit:  rows.CacheHit,
 		K:         rows.K,
@@ -420,6 +437,7 @@ func convertStats(s exec.Stats) Stats {
 		Comparisons:   s.Comparisons,
 		JoinProbes:    s.JoinProbes,
 		PeakBuffered:  s.PeakBuffered,
+		Materialized:  s.Materialized,
 	}
 }
 
@@ -587,6 +605,13 @@ func (c *Cursor) CacheHit() bool { return c.c.CacheHit() }
 // K returns the statement's LIMIT — the depth hint the plan was tuned
 // for (0 when the statement had none). The stream itself is not capped.
 func (c *Cursor) K() int { return c.c.K() }
+
+// PinnedBytes estimates the memory pinned by the cursor's suspended
+// operator state (tuples resident in ranking queues, hash tables and
+// materializations, plus tuples parked by an interrupted pull). Zero
+// once the cursor is closed. The figure backs the server's
+// cursor_pinned_bytes gauge.
+func (c *Cursor) PinnedBytes() int64 { return c.c.PinnedBytes() }
 
 // QueryContext runs a (possibly parameterized) SELECT with cancellation.
 // It is one-shot sugar for Prepare + Stmt.QueryContext; repeated templates
