@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,7 @@ func runBench(args []string) {
 	insightPath := fs.String("insight", "", "after the run, dump the service's /insight/templates workload profile to this file")
 	validate := fs.String("validate", "", "validate an existing benchmark report file and exit (CI schema check)")
 	compare := fs.Bool("compare", false, "compare two report files (bench -compare old.json new.json) and warn on >10% p95-latency or per-request resource regressions")
+	strict := fs.Bool("strict", false, "with -compare: exit non-zero on regressions (the CI bench-gate); the gate only applies when both reports were recorded on comparable machines")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -62,14 +64,27 @@ func runBench(args []string) {
 		if fs.NArg() != 2 {
 			log.Fatalf("bench: -compare needs exactly two report files (old new), got %d", fs.NArg())
 		}
-		warnings, err := compareReports(fs.Arg(0), fs.Arg(1))
+		res, err := compareReports(fs.Arg(0), fs.Arg(1))
 		if err != nil {
 			log.Fatalf("bench: compare: %v", err)
 		}
-		if warnings > 0 {
-			fmt.Printf("%d regression warning(s) — see above\n", warnings)
-		} else {
-			fmt.Println("no regressions: p95 latency and per-request resources within 10% of baseline")
+		// Timing numbers (p95, qps) only gate between comparable machines;
+		// per-request resource counters (tuples scanned/materialized per
+		// request) are machine-independent and always gate.
+		gating := res.resourceWarnings
+		if res.comparable {
+			gating += res.timingWarnings
+		} else if res.timingWarnings > 0 {
+			fmt.Printf("%d timing warning(s), but the reports' machines differ — refusing to gate on timing (informational only)\n",
+				res.timingWarnings)
+		}
+		if gating == 0 {
+			fmt.Println("no gating regressions: within 10% of baseline")
+			return
+		}
+		fmt.Printf("%d gating regression warning(s) — see above\n", gating)
+		if *strict {
+			os.Exit(1)
 		}
 		return
 	}
@@ -286,6 +301,7 @@ func runBench(args []string) {
 		MaxMS:        maxMS,
 		CacheHitRate: hitRate,
 		Violations:   atomic.LoadInt64(&violations),
+		Machine:      currentMachine(),
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 	}
 	if *routerMode {
@@ -402,12 +418,25 @@ func dumpInsight(base, path string) {
 	fmt.Printf("insight profile written to %s\n", path)
 }
 
+// compareResult classifies what `bench -compare` found. Timing warnings
+// (p95 latency, throughput) and resource warnings (per-request tuples
+// scanned/materialized, pinned cursor bytes) are kept apart because only
+// the latter are machine-independent: the comparable flag reports whether
+// the two runs came from comparable machines (same CPU model, GOMAXPROCS
+// and architecture), and when they did not, timing deltas mean nothing
+// and must not gate. Reports that predate machine metadata are treated as
+// comparable so old baselines keep working, with a note.
+type compareResult struct {
+	timingWarnings   int
+	resourceWarnings int
+	comparable       bool
+}
+
 // compareReports is the regression check behind `bench -compare old
-// new`: it validates both reports, then warns (without failing — run
-// conditions differ across machines) when the new run's p95 latency or
-// per-request resource use grew more than 10% over the baseline, or its
-// throughput dropped more than 10%.
-func compareReports(oldPath, newPath string) (warnings int, err error) {
+// new`: it validates both reports, then warns when the new run's p95
+// latency or per-request resource use grew more than 10% over the
+// baseline, or its throughput dropped more than 10%.
+func compareReports(oldPath, newPath string) (res compareResult, err error) {
 	load := func(path string) (*benchReport, error) {
 		if err := validateReport(path); err != nil {
 			return nil, fmt.Errorf("%s: %v", path, err)
@@ -424,19 +453,29 @@ func compareReports(oldPath, newPath string) (warnings int, err error) {
 	}
 	oldR, err := load(oldPath)
 	if err != nil {
-		return 0, err
+		return res, err
 	}
 	newR, err := load(newPath)
 	if err != nil {
-		return 0, err
+		return res, err
 	}
 	if oldR.Mode != newR.Mode {
-		return 0, fmt.Errorf("mode mismatch: %s is %q, %s is %q", oldPath, oldR.Mode, newPath, newR.Mode)
+		return res, fmt.Errorf("mode mismatch: %s is %q, %s is %q", oldPath, oldR.Mode, newPath, newR.Mode)
 	}
 	fmt.Printf("baseline %s (%s)  vs  %s\n", oldPath, oldR.GeneratedAt, newPath)
+	res.comparable = true
+	switch om, nm := oldR.Machine, newR.Machine; {
+	case om == nil || nm == nil:
+		fmt.Println("note: a report predates machine metadata; assuming comparable environments")
+	case om.CPUModel != nm.CPUModel || om.GOMAXPROCS != nm.GOMAXPROCS || om.Arch != nm.Arch:
+		res.comparable = false
+		fmt.Printf("note: incomparable environments:\n  old %s (%s, GOMAXPROCS=%d, %s)\n  new %s (%s, GOMAXPROCS=%d, %s)\n",
+			om.CPUModel, om.Arch, om.GOMAXPROCS, om.GoVersion,
+			nm.CPUModel, nm.Arch, nm.GOMAXPROCS, nm.GoVersion)
+	}
 
 	warn := func(format string, args ...interface{}) {
-		warnings++
+		res.timingWarnings++
 		fmt.Printf("WARNING: "+format+"\n", args...)
 	}
 	const slack = 1.10
@@ -453,6 +492,10 @@ func compareReports(oldPath, newPath string) (warnings int, err error) {
 	// Resource counters are lifetime totals; normalize per request so
 	// baselines with different -requests stay comparable.
 	if oldR.Resources != nil && newR.Resources != nil {
+		resourceWarn := func(format string, args ...interface{}) {
+			res.resourceWarnings++
+			fmt.Printf("WARNING: "+format+"\n", args...)
+		}
 		perReq := func(r *benchReport, v int64) float64 {
 			n := r.Requests + r.Warmup
 			if n < 1 {
@@ -464,7 +507,7 @@ func compareReports(oldPath, newPath string) (warnings int, err error) {
 			o, n := perReq(oldR, ov), perReq(newR, nv)
 			fmt.Printf("%-12s %.1f -> %.1f per request\n", name, o, n)
 			if o > 0 && n > o*slack {
-				warn("%s per request grew %.1f%% (%.1f -> %.1f)", name, 100*(n/o-1), o, n)
+				resourceWarn("%s per request grew %.1f%% (%.1f -> %.1f)", name, 100*(n/o-1), o, n)
 			}
 		}
 		check("scanned", oldR.Resources.RowsScanned, newR.Resources.RowsScanned)
@@ -472,12 +515,53 @@ func compareReports(oldPath, newPath string) (warnings int, err error) {
 		o, n := oldR.Resources.CursorPinnedBytesMax, newR.Resources.CursorPinnedBytesMax
 		fmt.Printf("%-12s %d -> %d bytes\n", "pinned max", o, n)
 		if o > 0 && float64(n) > float64(o)*slack {
-			warn("max pinned cursor bytes grew %.1f%% (%d -> %d)", 100*(float64(n)/float64(o)-1), o, n)
+			resourceWarn("max pinned cursor bytes grew %.1f%% (%d -> %d)", 100*(float64(n)/float64(o)-1), o, n)
 		}
 	} else if oldR.Resources == nil && newR.Resources != nil {
 		fmt.Println("baseline predates resource accounting; skipping resource comparison")
 	}
-	return warnings, nil
+	return res, nil
+}
+
+// machineReport records where a benchmark ran. Absolute qps/latency
+// numbers are only meaningful against a baseline from the same kind of
+// machine, so -compare checks these fields before gating.
+type machineReport struct {
+	CPUModel   string `json:"cpu_model"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// currentMachine snapshots this host's identity for the report.
+func currentMachine() *machineReport {
+	return &machineReport{
+		CPUModel:   cpuModel(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// cpuModel returns the CPU model string from /proc/cpuinfo, or a
+// GOOS/GOARCH placeholder on platforms without it (macOS CI runners,
+// etc.) — still stable per runner class, which is all the comparability
+// check needs.
+func cpuModel() string {
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "model name") {
+				if i := strings.IndexByte(line, ':'); i >= 0 {
+					return strings.TrimSpace(line[i+1:])
+				}
+			}
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
 }
 
 // benchReport is the machine-readable result written by -json and
@@ -502,6 +586,7 @@ type benchReport struct {
 	Resources    *resourceReport   `json:"resources,omitempty"`
 	Pruning      *pruningReport    `json:"pruning,omitempty"`
 	Pagination   *paginationReport `json:"pagination,omitempty"`
+	Machine      *machineReport    `json:"machine,omitempty"`
 	GeneratedAt  string            `json:"generated_at"`
 }
 
@@ -600,6 +685,14 @@ func validateReport(path string) error {
 	}
 	if r.Violations != 0 {
 		return fmt.Errorf("report records %d ranking violations", r.Violations)
+	}
+	if m := r.Machine; m != nil {
+		if m.CPUModel == "" || m.GoVersion == "" {
+			return fmt.Errorf("machine block present but incomplete: cpu_model=%q go_version=%q", m.CPUModel, m.GoVersion)
+		}
+		if m.NumCPU < 1 || m.GOMAXPROCS < 1 {
+			return fmt.Errorf("machine block has num_cpu=%d gomaxprocs=%d, want >= 1", m.NumCPU, m.GOMAXPROCS)
+		}
 	}
 	if res := r.Resources; res != nil {
 		if res.RowsScanned <= 0 {

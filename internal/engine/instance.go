@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"fmt"
+
+	"ranksql/internal/exec"
+	"ranksql/internal/expr"
+	"ranksql/internal/schema"
+	"ranksql/internal/types"
+)
+
+// planInstance is a built, reusable execution of a CompiledPlan: the
+// operator tree, the parameter slots Build cloned into it, a precomputed
+// label skeleton for snapshots, and an execution context whose tuple
+// arena is recycled between runs.
+//
+// Build deep-clones every condition into the operators it creates, so an
+// instance's parameter slots are private: writing them rebinds exactly
+// this tree, and two instances of the same plan never share mutable
+// state. That is what lets the serve path skip the per-request
+// clone-plan-and-rebuild step (BindPlanParams + Build) entirely.
+type planInstance struct {
+	op     exec.Operator
+	params []*expr.Param
+	labels *exec.TreeLabels
+	ctx    *exec.Context
+}
+
+// acquireInstance returns a ready-to-bind instance, reusing a pooled one
+// when available. Callers must hand it back via releaseInstance after
+// materializing the result (or drop it on execution error).
+func (cp *CompiledPlan) acquireInstance() (*planInstance, error) {
+	if v := cp.pool.Get(); v != nil {
+		return v.(*planInstance), nil
+	}
+	op, err := cp.Plan.Build(cp.Env)
+	if err != nil {
+		return nil, err
+	}
+	if cp.Proj != nil {
+		pr, err := exec.NewProject(op, cp.Proj)
+		if err != nil {
+			return nil, err
+		}
+		op = pr
+	}
+	inst := &planInstance{
+		op:     op,
+		params: exec.CollectParams(op),
+		labels: exec.NewTreeLabels(op),
+		ctx:    exec.NewContext(cp.Spec),
+	}
+	if cp.HasParams && len(inst.params) == 0 {
+		// The plan claims placeholder conditions but the built tree
+		// exposes none: binding would silently run with the values the
+		// plan was compiled under. Fail loudly instead.
+		return nil, fmt.Errorf("engine: parameterized plan built no parameter slots")
+	}
+	inst.ctx.Arena = &schema.TupleArena{}
+	return inst, nil
+}
+
+// bind writes the request's values into the instance's parameter slots.
+func (inst *planInstance) bind(params []types.Value) error {
+	for _, p := range inst.params {
+		if p.Index >= len(params) {
+			return fmt.Errorf("engine: parameter %d not bound", p.Index+1)
+		}
+		p.Val = params[p.Index]
+		p.Bound = true
+	}
+	return nil
+}
+
+// releaseInstance unbinds the parameter slots (so a pooling bug surfaces
+// as an "unbound parameter" error, not a silent stale read), recycles the
+// arena, and pools the instance for the next request. Only call it after
+// the result rows are fully materialized: arena tuples die here.
+func (cp *CompiledPlan) releaseInstance(inst *planInstance) {
+	for _, p := range inst.params {
+		p.Val = types.Null()
+		p.Bound = false
+	}
+	inst.ctx.Reset()
+	cp.pool.Put(inst)
+}

@@ -38,6 +38,10 @@ type CompiledPlan struct {
 	// sampling decision. Atomic: one cached plan serves concurrent
 	// queries under the DB read lock.
 	execs atomic.Uint64
+	// pool recycles built operator trees (planInstance) across
+	// executions of this plan. Instances hold the per-request mutable
+	// state, so the CompiledPlan itself stays immutable and shared.
+	pool sync.Pool
 }
 
 // planKey identifies a cached plan: the normalized statement text (which

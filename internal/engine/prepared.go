@@ -337,29 +337,52 @@ func (db *DB) compileSelect(sel *sql.SelectStmt) (*CompiledPlan, exec.Operator, 
 	return cp, op, nil
 }
 
-// runCompiled instantiates a compiled plan with the given parameter
-// values and executes it. Callers hold db.mu (read side).
+// runCompiled executes a cached plan with the given parameter values on
+// a pooled instance: no plan clone, no operator re-build — the values are
+// written into the instance's private parameter slots, the tree is
+// re-opened, and the instance (with its tuple arena) is recycled for the
+// next request. Callers hold db.mu (read side).
 func (db *DB) runCompiled(cp *CompiledPlan, params []types.Value, cancel <-chan struct{}, profile bool) (*Rows, error) {
-	plan := cp.Plan
-	if cp.HasParams {
-		bound, err := optimizer.BindPlanParams(cp.Plan, params)
-		if err != nil {
-			return nil, err
-		}
-		plan = bound
-	}
-	op, err := plan.Build(cp.Env)
+	inst, err := cp.acquireInstance()
 	if err != nil {
 		return nil, err
 	}
-	if cp.Proj != nil {
-		pr, err := exec.NewProject(op, cp.Proj)
-		if err != nil {
-			return nil, err
-		}
-		op = pr
+	if err := inst.bind(params); err != nil {
+		return nil, err
 	}
-	return db.execOperator(cp, op, cancel, profile)
+	ctx := inst.ctx
+	ctx.SpinPerCostUnit = db.SpinPerCostUnit
+	ctx.Cancel = cancel
+	ctx.Profile = profile
+	tuples, err := exec.Run(ctx, inst.op)
+	if err != nil {
+		// Execution died mid-stream; the tree's state is unknown, so the
+		// instance is dropped instead of pooled.
+		return nil, err
+	}
+	tree := inst.labels.Snapshot()
+	rows := &Rows{
+		Columns:  append([]string(nil), cp.Columns...),
+		Plan:     cp.Plan,
+		Stats:    ctx.Stats,
+		ExecTree: tree.String,
+		Tree:     tree,
+		Profiled: tree.Profiled(),
+	}
+	if rows.Profiled {
+		rows.Est = PlanEstimates(cp.Plan, tree)
+	}
+	rows.Data = make([][]types.Value, len(tuples))
+	rows.Scores = make([]float64, len(tuples))
+	for i, t := range tuples {
+		// Values and Score survive the instance release: scan tuples
+		// alias immutable table rows and projected tuples carry fresh
+		// slices; only the tuple structs themselves are arena-owned.
+		rows.Data[i] = t.Values
+		rows.Scores[i] = t.Score
+	}
+	cp.releaseInstance(inst)
+	return rows, nil
 }
 
 // execOperator runs a built operator tree and materializes the result.

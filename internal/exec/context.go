@@ -75,8 +75,44 @@ type Context struct {
 	// counters, which SnapshotTree then captures for EXPLAIN ANALYZE and
 	// per-template operator profiles.
 	Profile bool
+	// Arena, when non-nil, bulk-allocates the tuples operators produce.
+	// Arena tuples are recycled wholesale when the execution's owner
+	// resets the arena, so only executions whose tuples provably do not
+	// outlive a single run (the engine's pooled serve path) may set it.
+	// Cursors and the estimator keep Arena nil and heap-allocate.
+	Arena *schema.TupleArena
 
 	checkCtr int
+}
+
+// newTuple builds a base-table tuple, from the arena when one is attached.
+func (c *Context) newTuple(tid schema.TID, values []types.Value, npreds int) *schema.Tuple {
+	if c.Arena != nil {
+		return c.Arena.NewTuple(tid, values, npreds)
+	}
+	return schema.NewTuple(tid, values, npreds)
+}
+
+// derivedTuple hands out an empty tuple struct for rows that share backing
+// slices with an existing tuple (projection output).
+func (c *Context) derivedTuple() *schema.Tuple {
+	if c.Arena != nil {
+		return c.Arena.Tuple()
+	}
+	return &schema.Tuple{}
+}
+
+// Reset clears per-execution state (counters, cancellation, profiling,
+// arena) so a pooled Context can serve the next request.
+func (c *Context) Reset() {
+	c.Stats = Stats{}
+	c.SpinPerCostUnit = 0
+	c.Cancel = nil
+	c.Profile = false
+	c.checkCtr = 0
+	if c.Arena != nil {
+		c.Arena.Reset()
+	}
 }
 
 // NewContext builds an execution context for a ranking spec.

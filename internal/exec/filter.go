@@ -65,6 +65,9 @@ func (f *Filter) Close() error { return f.child.Close() }
 // Evaluated implements Operator.
 func (f *Filter) Evaluated() schema.Bitset { return f.child.Evaluated() }
 
+// BoundCond implements CondHolder.
+func (f *Filter) BoundCond() expr.Expr { return f.cond }
+
 // Name implements Operator.
 func (f *Filter) Name() string { return fmt.Sprintf("filter(%s)", f.cond) }
 
@@ -116,13 +119,12 @@ func (p *Project) Next(ctx *Context) (*schema.Tuple, error) {
 	for i, j := range p.idx {
 		vals[i] = t.Values[j]
 	}
-	nt := &schema.Tuple{
-		Values:    vals,
-		Preds:     t.Preds,
-		Evaluated: t.Evaluated,
-		Score:     t.Score,
-		TIDs:      t.TIDs,
-	}
+	nt := ctx.derivedTuple()
+	nt.Values = vals
+	nt.Preds = t.Preds
+	nt.Evaluated = t.Evaluated
+	nt.Score = t.Score
+	nt.TIDs = t.TIDs
 	return p.emit(nt), nil
 }
 

@@ -18,6 +18,10 @@ type joinCommon struct {
 	cond        expr.Expr // residual condition over the concat schema; may be nil
 }
 
+// BoundCond implements CondHolder for every join (rank-aware and classic
+// operators alike embed joinCommon).
+func (j *joinCommon) BoundCond() expr.Expr { return j.cond }
+
 func (j *joinCommon) initJoin(left, right Operator, cond expr.Expr) error {
 	j.left, j.right = left, right
 	j.sch = left.Schema().Concat(right.Schema())

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"ranksql/internal/expr"
 	"ranksql/internal/schema"
 )
 
@@ -108,6 +109,36 @@ func (h *tupleHeap) pop() *schema.Tuple   { return heap.Pop(h).(*schema.Tuple) }
 func (h *tupleHeap) top() *schema.Tuple   { return h.items[0] }
 func (h *tupleHeap) empty() bool          { return len(h.items) == 0 }
 
+// CondHolder is implemented by operators that own a bound Boolean
+// condition tree (filters, fused scan selections, join conditions). The
+// engine's pooled serve path uses it to find a built tree's parameter
+// placeholders once, then rebinds them in place on every request instead
+// of re-cloning and re-building the tree.
+type CondHolder interface {
+	// BoundCond returns the operator's condition; may be nil.
+	BoundCond() expr.Expr
+}
+
+// CollectParams gathers every parameter placeholder reachable from the
+// tree's bound conditions, pre-order. Build clones each condition into
+// the operator that owns it, so the returned pointers are private to this
+// tree: writing their Val/Bound fields rebinds exactly this tree.
+func CollectParams(op Operator) []*expr.Param {
+	var out []*expr.Param
+	Walk(op, func(o Operator, _ int) {
+		h, ok := o.(CondHolder)
+		if !ok {
+			return
+		}
+		expr.Walk(h.BoundCond(), func(e expr.Expr) {
+			if p, ok := e.(*expr.Param); ok {
+				out = append(out, p)
+			}
+		})
+	})
+	return out
+}
+
 // Walk visits the operator tree pre-order.
 func Walk(op Operator, fn func(op Operator, depth int)) {
 	var rec func(Operator, int)
@@ -185,6 +216,48 @@ func SnapshotTree(op Operator) TreeSnapshot {
 		}
 		ts = append(ts, n)
 	})
+	return ts
+}
+
+// TreeLabels is the precomputed (depth, label) skeleton of an operator
+// tree. Rendering a label costs an fmt.Sprintf per operator, which
+// SnapshotTree pays on every call; a pooled tree's shape never changes,
+// so its owner renders the labels once and snapshots against them.
+type TreeLabels struct {
+	nodes []TreeNode
+	ops   []Operator
+}
+
+// NewTreeLabels renders the tree's labels once for repeated snapshots.
+func NewTreeLabels(op Operator) *TreeLabels {
+	tl := &TreeLabels{}
+	Walk(op, func(o Operator, d int) {
+		tl.nodes = append(tl.nodes, TreeNode{Depth: d, Label: o.Name()})
+		tl.ops = append(tl.ops, o)
+	})
+	return tl
+}
+
+// Snapshot captures the tree's current counters under the precomputed
+// labels. The snapshot is freshly allocated — it escapes into results
+// that outlive the pooled tree's next reuse.
+func (tl *TreeLabels) Snapshot() TreeSnapshot {
+	ts := make(TreeSnapshot, len(tl.nodes))
+	for i, o := range tl.ops {
+		n := tl.nodes[i]
+		n.Out = o.OutCount()
+		if kids := o.Children(); len(kids) > 0 {
+			for _, c := range kids {
+				n.DepthK += c.OutCount()
+			}
+		} else if p, ok := o.(profiled); ok {
+			_, _, n.DepthK = p.profCounters()
+		}
+		if p, ok := o.(profiled); ok {
+			n.TimeNS, n.Calls, _ = p.profCounters()
+		}
+		ts[i] = n
+	}
 	return ts
 }
 

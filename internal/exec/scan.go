@@ -73,7 +73,7 @@ func (s *SeqScan) Next(ctx *Context) (*schema.Tuple, error) {
 		return nil, nil
 	}
 	row := s.table.Row(schema.TID(s.tid))
-	t := schema.NewTuple(schema.TID(s.tid), row, s.npreds)
+	t := ctx.newTuple(schema.TID(s.tid), row, s.npreds)
 	t.Score = s.ceiling
 	s.tid++
 	ctx.Stats.TuplesScanned++
@@ -153,7 +153,7 @@ func (s *RankScan) Open(ctx *Context) error {
 	}
 	s.sorted = make([]*schema.Tuple, 0, s.table.NumRows())
 	s.table.Scan(func(tid schema.TID, row []types.Value) bool {
-		t := schema.NewTuple(tid, row, s.npreds)
+		t := ctx.newTuple(tid, row, s.npreds)
 		ctx.evalPred(bp, t)
 		s.sorted = append(s.sorted, t)
 		return true
@@ -178,7 +178,7 @@ func (s *RankScan) Next(ctx *Context) (*schema.Tuple, error) {
 				return nil, nil
 			}
 			row := s.table.Row(e.TID)
-			t = schema.NewTuple(e.TID, row, s.npreds)
+			t = ctx.newTuple(e.TID, row, s.npreds)
 			t.Preds[s.pred.Index] = s.index.Scores[e.TID]
 			t.Evaluated = schema.Bit(s.pred.Index)
 			ctx.Spec.Rescore(t)
@@ -211,6 +211,9 @@ func (s *RankScan) Close() error {
 	s.sorted = nil
 	return nil
 }
+
+// BoundCond implements CondHolder.
+func (s *RankScan) BoundCond() expr.Expr { return s.cond }
 
 // Evaluated implements Operator.
 func (s *RankScan) Evaluated() schema.Bitset { return schema.Bit(s.pred.Index) }
@@ -282,7 +285,7 @@ func (s *IdxScanCol) Open(ctx *Context) error {
 	}
 	s.sorted = make([]*schema.Tuple, 0, s.table.NumRows())
 	s.table.Scan(func(tid schema.TID, row []types.Value) bool {
-		t := schema.NewTuple(tid, row, s.npreds)
+		t := ctx.newTuple(tid, row, s.npreds)
 		t.Score = s.ceiling
 		s.sorted = append(s.sorted, t)
 		return true
@@ -310,7 +313,7 @@ func (s *IdxScanCol) Next(ctx *Context) (*schema.Tuple, error) {
 				return nil, nil
 			}
 			row := s.table.Row(e.TID)
-			t = schema.NewTuple(e.TID, row, s.npreds)
+			t = ctx.newTuple(e.TID, row, s.npreds)
 			t.Score = s.ceiling
 		} else {
 			if s.pos >= len(s.sorted) {
@@ -341,6 +344,9 @@ func (s *IdxScanCol) Close() error {
 	s.sorted = nil
 	return nil
 }
+
+// BoundCond implements CondHolder.
+func (s *IdxScanCol) BoundCond() expr.Expr { return s.cond }
 
 // Evaluated implements Operator.
 func (s *IdxScanCol) Evaluated() schema.Bitset { return 0 }

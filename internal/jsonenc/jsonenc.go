@@ -1,0 +1,103 @@
+// Package jsonenc provides allocation-free append-style encoders whose
+// output is byte-identical to encoding/json (with its default HTML
+// escaping) for the value shapes RankSQL serves: strings and float64
+// numbers. The server's hot serve path builds responses into pooled
+// buffers with these instead of reflecting through json.Marshal.
+package jsonenc
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// safe marks ASCII bytes that pass through a JSON string unescaped,
+// matching encoding/json's htmlSafeSet (default Encoder behavior).
+var safe [utf8.RuneSelf]bool
+
+func init() {
+	for i := 0x20; i < utf8.RuneSelf; i++ {
+		safe[i] = true
+	}
+	for _, c := range []byte{'"', '\\', '<', '>', '&'} {
+		safe[c] = false
+	}
+}
+
+// AppendString appends s as a JSON string literal, byte-identical to
+// encoding/json with EscapeHTML enabled: control characters, quotes,
+// backslashes and <, >, & are escaped, invalid UTF-8 becomes U+FFFD, and
+// U+2028/U+2029 are escaped for JavaScript embedding.
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if safe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, "\\ufffd"...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// AppendFloat appends f in encoding/json's float64 format: like %g but
+// with exponent notation only outside [1e-6, 1e21) and the exponent's
+// leading zero trimmed (e-09 → e-9). NaN and infinities — which
+// encoding/json refuses to encode at all — become null, keeping the
+// document well-formed.
+func AppendFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		n := len(dst)
+		if n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}

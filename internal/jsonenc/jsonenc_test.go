@@ -1,0 +1,52 @@
+package jsonenc
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAppendStringMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		"", "plain", "with \"quotes\" and \\slashes\\",
+		"tabs\tnewlines\nreturns\r", "ctrl \x00\x01\x1f bytes",
+		"html <script>&amp;</script>", "unicode héllo wörld 日本語",
+		"line sep   and para sep  ", "invalid \xff utf8 \xc3(",
+		strings.Repeat("long ", 100),
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := AppendString(nil, s)
+		if string(got) != string(want) {
+			t.Errorf("AppendString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendFloatMatchesEncodingJSON(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.5, -0.25, 3.14159, 1e-7, -1e-7, 9.9e20, 1e21, 1.5e21,
+		1e-6, 123456789.123456, 2.0000000000000004, math.MaxFloat64,
+		math.SmallestNonzeroFloat64,
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := AppendFloat(nil, f)
+		if string(got) != string(want) {
+			t.Errorf("AppendFloat(%v) = %s, want %s", f, got, want)
+		}
+	}
+	// encoding/json errors on these; we keep the document well-formed.
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := AppendFloat(nil, f); string(got) != "null" {
+			t.Errorf("AppendFloat(%v) = %s, want null", f, got)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package raceflag reports whether the binary was built with the race
+// detector. Allocation-budget tests consult it: under -race, sync.Pool
+// deliberately drops a fraction of puts to widen interleavings, so
+// pooled paths allocate nondeterministically and per-op budgets cannot
+// hold.
+package raceflag
+
+// Enabled is true when built with -race.
+const Enabled = false

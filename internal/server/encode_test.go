@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ranksql"
+)
+
+// boxedResponse rebuilds the response the way the pre-pooled encoder did:
+// box every engine value through Value.Any into [][]interface{} and let
+// encoding/json serialize the whole struct. The hand encoder must match
+// this byte for byte (including the Encoder's trailing newline) so the
+// wire format is provably unchanged.
+func boxedResponse(t *testing.T, resp queryResponse, rows *ranksql.Rows) string {
+	t.Helper()
+	resp.Rows = make([][]interface{}, 0, rows.Len())
+	resp.Ranks = make([]int, 0, rows.Len())
+	resp.Scores = rows.Scores
+	for i := 0; i < rows.Len(); i++ {
+		vals := rows.At(i)
+		row := make([]interface{}, len(vals))
+		for j, v := range vals {
+			row[j] = v.Any()
+		}
+		resp.Rows = append(resp.Rows, row)
+		resp.Ranks = append(resp.Ranks, i+1)
+	}
+	if resp.Scores == nil {
+		resp.Scores = []float64{}
+	}
+	out, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out) + "\n"
+}
+
+func TestAppendQueryResponseMatchesEncodingJSON(t *testing.T) {
+	db := ranksql.Open()
+	if err := SeedWebshop(db, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Values that exercise every scalar kind plus string escaping.
+	if _, err := db.Exec("CREATE TABLE odd (label TEXT, num FLOAT, cnt INT, ok BOOL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO odd VALUES ('quote " <html> & \ done', 0.0000001, -42, false)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO odd VALUES (NULL, 12345678901234567890.0, 0, true)`); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []struct {
+		sql    string
+		params []interface{}
+	}{
+		{testQuerySQL, []interface{}{400.0, 10}},
+		{`SELECT label, num, cnt, ok FROM odd`, nil},
+		{`SELECT name FROM product WHERE price < 0`, nil}, // empty result
+	}
+	for _, q := range queries {
+		rows, err := db.QueryContext(context.Background(), q.sql, q.params...)
+		if err != nil {
+			t.Fatalf("%s: %v", q.sql, err)
+		}
+		resp := queryResponse{
+			Columns:   rows.Columns,
+			CacheHit:  rows.CacheHit,
+			K:         rows.K,
+			Depth:     rows.Len(),
+			Exhausted: rows.Exhausted,
+			Stats: queryStats{
+				TuplesScanned: rows.Stats.TuplesScanned,
+				PredEvals:     rows.Stats.PredEvals,
+				Comparisons:   rows.Stats.Comparisons,
+				JoinProbes:    rows.Stats.JoinProbes,
+				PeakBuffered:  rows.Stats.PeakBuffered,
+				Materialized:  rows.Stats.Materialized,
+				PredCostUnits: rows.Stats.PredCostUnits,
+			},
+			ElapsedMS: 1.52,
+			TraceID:   "t-abc123",
+		}
+		want := boxedResponse(t, resp, rows)
+		got := string(appendQueryResponse(nil, &resp, rows))
+		if got != want {
+			t.Errorf("%s:\n got  %s\n want %s", q.sql, got, want)
+		}
+	}
+}
+
+// TestAppendQueryResponseOmitempty checks the optional fields appear and
+// disappear exactly as encoding/json's omitempty tags dictate.
+func TestAppendQueryResponseOmitempty(t *testing.T) {
+	db := ranksql.Open()
+	if err := SeedWebshop(db, 50); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(`SELECT name FROM product LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := queryResponse{
+		Columns:       rows.Columns,
+		Depth:         rows.Len(),
+		Offset:        7,
+		CursorID:      "cur-9",
+		DepthKReached: 33,
+		MaxDriftRatio: 1.25,
+		ElapsedMS:     0.5,
+	}
+	want := boxedResponse(t, resp, rows)
+	got := string(appendQueryResponse(nil, &resp, rows))
+	if got != want {
+		t.Errorf("with optionals:\n got  %s\n want %s", got, want)
+	}
+	for _, field := range []string{"offset", "cursor_id", "depth_k", "max_drift_ratio"} {
+		if !strings.Contains(got, `"`+field+`"`) {
+			t.Errorf("optional field %q missing when set", field)
+		}
+	}
+
+	resp = queryResponse{Columns: rows.Columns, Depth: rows.Len(), ElapsedMS: 0.5}
+	want = boxedResponse(t, resp, rows)
+	got = string(appendQueryResponse(nil, &resp, rows))
+	if got != want {
+		t.Errorf("without optionals:\n got  %s\n want %s", got, want)
+	}
+	for _, field := range []string{"offset", "cursor_id", "depth_k", "max_drift_ratio", "trace_id"} {
+		if strings.Contains(got, `"`+field+`"`) {
+			t.Errorf("optional field %q present when zero", field)
+		}
+	}
+}

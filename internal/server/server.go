@@ -465,11 +465,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 		s.tracer.Debug("query", attrs...)
 	}
 
+	// The row payload is encoded straight from the engine values into a
+	// pooled buffer (see encode.go) — no boxed [][]interface{} detour
+	// through encoding/json on the hot path.
 	resp := queryResponse{
 		Columns:   rows.Columns,
-		Rows:      make([][]interface{}, 0, rows.Len()),
-		Scores:    rows.Scores,
-		Ranks:     make([]int, 0, rows.Len()),
 		CacheHit:  rows.CacheHit,
 		K:         rows.K,
 		Depth:     rows.Len(),
@@ -491,19 +491,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, req *reques
 		resp.DepthKReached = maxLeafDepthK(ops)
 		resp.MaxDriftRatio = maxDriftRatio(ops)
 	}
-	for i := 0; i < rows.Len(); i++ {
-		vals := rows.At(i)
-		row := make([]interface{}, len(vals))
-		for j, v := range vals {
-			row[j] = v.Any()
-		}
-		resp.Rows = append(resp.Rows, row)
-		resp.Ranks = append(resp.Ranks, i+1)
-	}
-	if resp.Scores == nil {
-		resp.Scores = []float64{}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeQueryResponse(w, &resp, rows)
 }
 
 func (s *Server) handleExec(w http.ResponseWriter, _ *http.Request, req *request) {

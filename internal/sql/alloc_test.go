@@ -1,0 +1,55 @@
+package sql
+
+import (
+	"testing"
+
+	"ranksql/internal/raceflag"
+)
+
+// Allocation budgets for the template-hit serve path's SQL stages. These
+// are ceilings, not targets: they exist so a regression that reintroduces
+// per-token or per-node garbage fails CI, while leaving headroom for the
+// occasional pool refill when a GC cycle clears sync.Pool mid-run.
+//
+// Reference (HEAD before the byte-scan lexer): lex 23 allocs/op,
+// parse 47, normalize 26.
+const (
+	lexAllocBudget       = 0.5 // pooled token buffer, zero-copy tokens
+	parseAllocBudget     = 30  // AST nodes only; no token/keyword garbage
+	normalizeAllocBudget = 2.5 // pooled build buffer + one final string
+)
+
+func TestAllocBudgets(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("alloc budgets are meaningless under -race: sync.Pool drops puts")
+	}
+	const src = benchSQL
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf, err := lex(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.release()
+	}); allocs > lexAllocBudget {
+		t.Errorf("lex: %.1f allocs/op, budget %v", allocs, lexAllocBudget)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Parse(src); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > parseAllocBudget {
+		t.Errorf("Parse: %.1f allocs/op, budget %v", allocs, parseAllocBudget)
+	}
+
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		Normalize(stmt)
+	}); allocs > normalizeAllocBudget {
+		t.Errorf("Normalize: %.1f allocs/op, budget %v", allocs, normalizeAllocBudget)
+	}
+}

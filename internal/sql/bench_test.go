@@ -1,0 +1,61 @@
+package sql
+
+import (
+	"testing"
+)
+
+// benchSQL is the webshop bench template: the statement shape the serve
+// path lexes, parses and normalizes on every ad-hoc request.
+const benchSQL = `SELECT name, price, stars, sales FROM product
+	WHERE in_stock AND price < ?
+	ORDER BY 0.5*rating(stars) + 0.3*popular(sales) + 0.2*bargain(price) LIMIT ?`
+
+func BenchmarkLex(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchSQL)))
+	for i := 0; i < b.N; i++ {
+		buf, err := lex(benchSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.release()
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchSQL)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	st, err := Parse(benchSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := Normalize(st); s == "" {
+			b.Fatal("empty normalization")
+		}
+	}
+}
+
+func BenchmarkParseNormalize(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchSQL)))
+	for i := 0; i < b.N; i++ {
+		st, err := Parse(benchSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := Normalize(st); s == "" {
+			b.Fatal("empty normalization")
+		}
+	}
+}

