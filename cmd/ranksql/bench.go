@@ -45,6 +45,8 @@ func runBench(args []string) {
 	templates := fs.Int("templates", 1, "distinct query templates rotated per worker (pressures the plan cache; open cursors must keep streaming after their plan is evicted)")
 	routerMode := fs.Bool("router", false, "drive a sharded cluster: self-host -shards in-process ranksqld shards behind a router (or treat -addr as a router)")
 	numShards := fs.Int("shards", 2, "shard count for the self-hosted router cluster")
+	replicas := fs.Int("replicas", 1, "replicas per shard for the self-hosted router cluster (the router fans writes to every copy and fails reads over between them)")
+	failover := fs.Bool("failover", false, "router-mode failover scenario: kill one replica of shard 0 halfway through the measured window; every query must still succeed (needs -replicas >= 2, self-hosted)")
 	jsonPath := fs.String("json", "", "write the machine-readable benchmark report to this file")
 	insightPath := fs.String("insight", "", "after the run, dump the service's /insight/templates workload profile to this file")
 	validate := fs.String("validate", "", "validate an existing benchmark report file and exit (CI schema check)")
@@ -91,6 +93,13 @@ func runBench(args []string) {
 	if *concurrency < 1 || *requests < 1 || *k < 1 {
 		log.Fatalf("bench: -concurrency, -requests and -k must be >= 1 (got %d, %d, %d)", *concurrency, *requests, *k)
 	}
+	if *replicas < 1 {
+		*replicas = 1
+	}
+	if *failover && (!*routerMode || *replicas < 2 || *addr != "") {
+		log.Fatalf("bench: -failover needs a self-hosted router cluster with -replicas >= 2 (got -router=%v -replicas=%d -addr=%q)",
+			*routerMode, *replicas, *addr)
+	}
 	if *warmup < 0 {
 		*warmup = 0
 	}
@@ -102,13 +111,15 @@ func runBench(args []string) {
 	}
 
 	base := *addr
+	var cluster *benchCluster
 	if base == "" {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		if *routerMode {
-			base = selfHostCluster(ctx, *numShards, *dataset, *rows)
-			fmt.Printf("self-hosted router at %s over %d shards (%s, %d rows partitioned)\n",
-				base, *numShards, *dataset, *rows)
+			cluster = selfHostCluster(ctx, *numShards, *replicas, *dataset, *rows)
+			base = cluster.base
+			fmt.Printf("self-hosted router at %s over %d shard(s) x %d replica(s) (%s, %d rows partitioned)\n",
+				base, *numShards, *replicas, *dataset, *rows)
 		} else {
 			// Self-host a daemon on a loopback port.
 			db := ranksql.Open()
@@ -151,8 +162,14 @@ func runBench(args []string) {
 		violations int64
 		writes     int64
 		maxNanos   int64
+		failed     int64
 		hist       = obs.NewHistogram()
 	)
+	// -failover: one replica of shard 0 is killed the moment half the
+	// measured requests have completed; killedReplica is written under the
+	// Once and read only after wg.Wait.
+	var killOnce sync.Once
+	killedReplica := ""
 	// Warm-up requests are issued through the same sessions and prepared
 	// statements as the measured window, so the plan cache, scheduler and
 	// allocator are warm — but their latencies never enter the histogram.
@@ -219,6 +236,11 @@ func runBench(args []string) {
 				if *paginate {
 					out, err := c.paginateSession(sessionID, stmtID, params, *k, *pages, hist)
 					if err != nil {
+						if *failover {
+							atomic.AddInt64(&failed, 1)
+							atomic.AddInt64(&done, 1)
+							continue
+						}
 						log.Fatalf("bench: worker %d: cursor session: %v", worker, err)
 					}
 					d = time.Since(t0)
@@ -230,6 +252,11 @@ func runBench(args []string) {
 				} else {
 					resp, err := c.query(sessionID, stmtID, params)
 					if err != nil {
+						if *failover {
+							atomic.AddInt64(&failed, 1)
+							atomic.AddInt64(&done, 1)
+							continue
+						}
 						log.Fatalf("bench: worker %d: query: %v", worker, err)
 					}
 					d = time.Since(t0)
@@ -256,6 +283,9 @@ func runBench(args []string) {
 					}
 				}
 				atomic.AddInt64(&done, 1)
+				if *failover && atomic.LoadInt64(&done) >= int64(*requests/2) {
+					killOnce.Do(func() { killedReplica = cluster.kill() })
+				}
 			}
 		}(w)
 	}
@@ -307,6 +337,7 @@ func runBench(args []string) {
 	if *routerMode {
 		report.Mode = "router"
 		report.Shards = *numShards
+		report.Replicas = *replicas
 	}
 
 	if v := atomic.LoadInt64(&violations); v > 0 {
@@ -363,6 +394,42 @@ func runBench(args []string) {
 		for _, q := range stats.PerQuery {
 			fmt.Printf("  %6d× pruned=%d refills=%d avg=%.2fms  %s\n",
 				q.Count, q.ShardsPruned, q.Refills, q.AvgMS, truncate(q.Query, 80))
+		}
+		if *failover {
+			report.Failover = &failoverReport{
+				Replicas:             *replicas,
+				KilledReplica:        killedReplica,
+				FailedQueries:        atomic.LoadInt64(&failed),
+				Failovers:            stats.Reliability.Failovers,
+				HedgesIssued:         stats.Reliability.HedgesIssued,
+				HedgesWon:            stats.Reliability.HedgesWon,
+				CursorReplicaResumes: stats.Reliability.CursorReplicaResumes,
+			}
+			fmt.Printf("\n== failover ==\n")
+			fmt.Printf("killed %s at the halfway point: failed_queries=%d failovers=%d hedges=%d/%d cursor_resumes=%d\n",
+				killedReplica, report.Failover.FailedQueries, report.Failover.Failovers,
+				report.Failover.HedgesWon, report.Failover.HedgesIssued,
+				report.Failover.CursorReplicaResumes)
+			if report.Failover.FailedQueries > 0 {
+				fmt.Printf("FAILOVER: %d queries failed after the replica kill\n", report.Failover.FailedQueries)
+				writeReport(*jsonPath, &report)
+				os.Exit(1)
+			}
+		}
+		// Probe the router-side ranked-result cache: repeat one query and
+		// confirm via the per-replica request counters that the second
+		// answer involved zero shard fan-out.
+		rc, err := measureResultCache(base, queryTemplate, paramGen, *k)
+		if err != nil {
+			log.Fatalf("bench: result cache probe: %v", err)
+		}
+		report.ResultCache = rc
+		fmt.Printf("result cache: hits=%d misses=%d stale=%d hit_rate=%.3f zero_fanout_verified=%v\n",
+			rc.Hits, rc.Misses, rc.Stale, rc.HitRate, rc.VerifiedZeroFanout)
+		if !rc.VerifiedZeroFanout {
+			fmt.Println("RESULT CACHE: repeated query was not served fan-out-free")
+			writeReport(*jsonPath, &report)
+			os.Exit(1)
 		}
 		dumpInsight(base, *insightPath)
 		writeReport(*jsonPath, &report)
@@ -567,27 +634,56 @@ func cpuModel() string {
 // benchReport is the machine-readable result written by -json and
 // checked by -validate: the recorded perf baseline's schema.
 type benchReport struct {
-	Mode         string            `json:"mode"` // "single" or "router"
-	Dataset      string            `json:"dataset"`
-	Rows         int               `json:"rows"`
-	Shards       int               `json:"shards,omitempty"`
-	Concurrency  int               `json:"concurrency"`
-	Requests     int               `json:"requests"`
-	Warmup       int               `json:"warmup"`
-	K            int               `json:"k"`
-	Templates    int               `json:"templates,omitempty"`
-	Writes       int64             `json:"writes"`
-	ElapsedSec   float64           `json:"elapsed_sec"`
-	QPS          float64           `json:"qps"`
-	Latency      obs.Summary       `json:"latency_ms"`
-	MaxMS        float64           `json:"max_ms"`
-	CacheHitRate float64           `json:"cache_hit_rate"`
-	Violations   int64             `json:"violations"`
-	Resources    *resourceReport   `json:"resources,omitempty"`
-	Pruning      *pruningReport    `json:"pruning,omitempty"`
-	Pagination   *paginationReport `json:"pagination,omitempty"`
-	Machine      *machineReport    `json:"machine,omitempty"`
-	GeneratedAt  string            `json:"generated_at"`
+	Mode         string             `json:"mode"` // "single" or "router"
+	Dataset      string             `json:"dataset"`
+	Rows         int                `json:"rows"`
+	Shards       int                `json:"shards,omitempty"`
+	Replicas     int                `json:"replicas,omitempty"`
+	Concurrency  int                `json:"concurrency"`
+	Requests     int                `json:"requests"`
+	Warmup       int                `json:"warmup"`
+	K            int                `json:"k"`
+	Templates    int                `json:"templates,omitempty"`
+	Writes       int64              `json:"writes"`
+	ElapsedSec   float64            `json:"elapsed_sec"`
+	QPS          float64            `json:"qps"`
+	Latency      obs.Summary        `json:"latency_ms"`
+	MaxMS        float64            `json:"max_ms"`
+	CacheHitRate float64            `json:"cache_hit_rate"`
+	Violations   int64              `json:"violations"`
+	Resources    *resourceReport    `json:"resources,omitempty"`
+	Pruning      *pruningReport     `json:"pruning,omitempty"`
+	Pagination   *paginationReport  `json:"pagination,omitempty"`
+	Failover     *failoverReport    `json:"failover,omitempty"`
+	ResultCache  *resultCacheReport `json:"result_cache,omitempty"`
+	Machine      *machineReport     `json:"machine,omitempty"`
+	GeneratedAt  string             `json:"generated_at"`
+}
+
+// failoverReport captures the -failover scenario: one replica of shard 0
+// is killed once half the measured requests have completed, and the
+// workload must finish with zero failed queries — reads fail over to the
+// surviving replica (router /stats reliability counters confirm it).
+type failoverReport struct {
+	Replicas             int    `json:"replicas"`
+	KilledReplica        string `json:"killed_replica"`
+	FailedQueries        int64  `json:"failed_queries"`
+	Failovers            uint64 `json:"failovers"`
+	HedgesIssued         uint64 `json:"hedges_issued"`
+	HedgesWon            uint64 `json:"hedges_won"`
+	CursorReplicaResumes uint64 `json:"cursor_replica_resumes"`
+}
+
+// resultCacheReport records the router's ranked-result cache for the
+// run, plus the probe that repeats one query and checks — through the
+// per-replica request counters in /stats — that the repeat reached no
+// shard at all.
+type resultCacheReport struct {
+	Hits               uint64  `json:"hits"`
+	Misses             uint64  `json:"misses"`
+	Stale              uint64  `json:"stale"`
+	HitRate            float64 `json:"hit_rate"`
+	VerifiedZeroFanout bool    `json:"verified_zero_fanout"`
 }
 
 // resourceReport is the service-side resource accounting for the whole
@@ -730,36 +826,89 @@ func validateReport(path string) error {
 			return fmt.Errorf("naive_vs_one_shot = %.2f, want >= 1 (naive paging repeats work)", p.NaiveVsOneShot)
 		}
 	}
+	if f := r.Failover; f != nil {
+		if r.Mode != "router" {
+			return fmt.Errorf("failover block on a %q report, want router", r.Mode)
+		}
+		if f.Replicas < 2 {
+			return fmt.Errorf("failover.replicas = %d, want >= 2 (nothing to fail over to)", f.Replicas)
+		}
+		if f.FailedQueries != 0 {
+			return fmt.Errorf("failover scenario recorded %d failed queries, want 0", f.FailedQueries)
+		}
+		if f.Failovers == 0 {
+			return fmt.Errorf("failover scenario recorded no replica failovers")
+		}
+	}
+	if rc := r.ResultCache; rc != nil {
+		if rc.HitRate < 0 || rc.HitRate > 1 {
+			return fmt.Errorf("result_cache.hit_rate = %.3f, want within [0, 1]", rc.HitRate)
+		}
+		if rc.Hits == 0 {
+			return fmt.Errorf("result_cache block present but records zero hits")
+		}
+		if !rc.VerifiedZeroFanout {
+			return fmt.Errorf("result cache hit was not verified fan-out-free")
+		}
+	}
 	if _, err := time.Parse(time.RFC3339, r.GeneratedAt); err != nil {
 		return fmt.Errorf("generated_at: %v", err)
 	}
 	return nil
 }
 
-// selfHostCluster spins up n in-process ranksqld shards on loopback
-// ports, a router over them, and seeds the dataset through the router's
-// partitioned ingest, returning the router's base URL.
-func selfHostCluster(ctx context.Context, n int, dataset string, rows int) string {
+// benchCluster is a self-hosted router deployment: base is the router's
+// URL; kill shuts down shard 0's first replica (for the -failover
+// scenario) and returns the killed replica's URL.
+type benchCluster struct {
+	base string
+	kill func() string
+}
+
+// selfHostCluster spins up n in-process ranksqld shards — each as a
+// group of identically-seeded replicas — on loopback ports, a router
+// over them, and seeds the dataset through the router's partitioned,
+// replica-fanned ingest.
+func selfHostCluster(ctx context.Context, n, replicas int, dataset string, rows int) *benchCluster {
 	quiet := func(string, ...interface{}) {}
-	var shardURLs []string
+	var shardSpecs []string
+	killFirst := func() string { return "" }
 	for i := 0; i < n; i++ {
-		db := ranksql.Open()
-		if err := server.RegisterScorers(db, dataset); err != nil {
-			log.Fatalf("bench: shard %d scorers: %v", i, err)
-		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatalf("bench: shard %d listen: %v", i, err)
-		}
-		srv := server.New(db, server.WithLogger(quiet))
-		go func(i int) {
-			if err := srv.ServeListener(ctx, ln); err != nil {
-				log.Fatalf("bench: shard %d: %v", i, err)
+		var urls []string
+		for j := 0; j < replicas; j++ {
+			db := ranksql.Open()
+			if err := server.RegisterScorers(db, dataset); err != nil {
+				log.Fatalf("bench: shard %d replica %d scorers: %v", i, j, err)
 			}
-		}(i)
-		shardURLs = append(shardURLs, "http://"+ln.Addr().String())
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatalf("bench: shard %d replica %d listen: %v", i, j, err)
+			}
+			url := "http://" + ln.Addr().String()
+			// The -failover scenario kills shard 0's first replica by
+			// canceling its context; the canceled replica's server exit is
+			// deliberate, not fatal.
+			srvCtx := ctx
+			if i == 0 && j == 0 {
+				var cancel context.CancelFunc
+				srvCtx, cancel = context.WithCancel(ctx)
+				killFirst = func() string {
+					cancel()
+					ln.Close()
+					return url
+				}
+			}
+			srv := server.New(db, server.WithLogger(quiet))
+			go func(i, j int, sctx context.Context) {
+				if err := srv.ServeListener(sctx, ln); err != nil && sctx.Err() == nil {
+					log.Fatalf("bench: shard %d replica %d: %v", i, j, err)
+				}
+			}(i, j, srvCtx)
+			urls = append(urls, url)
+		}
+		shardSpecs = append(shardSpecs, strings.Join(urls, ","))
 	}
-	rt, err := router.New(shardURLs, router.WithLogger(quiet))
+	rt, err := router.New(shardSpecs, router.WithLogger(quiet))
 	if err != nil {
 		log.Fatalf("bench: router: %v", err)
 	}
@@ -777,7 +926,67 @@ func selfHostCluster(ctx context.Context, n int, dataset string, rows int) strin
 	if err := router.SeedVia(nil, base, dataset, rows); err != nil {
 		log.Fatalf("bench: seeding via router: %v", err)
 	}
-	return base
+	return &benchCluster{base: base, kill: killFirst}
+}
+
+// measureResultCache repeats one fixed-bindings query against the
+// router and verifies — via the per-replica request counters /stats
+// exposes — that the repeat was a ranked-result-cache hit that reached
+// no shard, then records the cache's run-wide counters.
+func measureResultCache(base, queryTemplate string, gen paramGenerator, k int) (*resultCacheReport, error) {
+	rng := server.NewRng(0xC0FFEE)
+	params := gen.query(&rng, k)
+	c := &benchClient{base: base, http: &http.Client{Timeout: 30 * time.Second}}
+	probe := func() (*benchQueryResponse, error) {
+		var out benchQueryResponse
+		if err := c.post("/query", map[string]interface{}{"sql": queryTemplate, "params": params}, &out); err != nil {
+			return nil, err
+		}
+		if out.Error != "" {
+			return nil, fmt.Errorf("probe query: %s", out.Error)
+		}
+		return &out, nil
+	}
+	replicaRequests := func() (uint64, error) {
+		var s router.Snapshot
+		if err := getJSON(base+"/stats", &s); err != nil {
+			return 0, err
+		}
+		var total uint64
+		for _, sh := range s.ShardHealth {
+			for _, rep := range sh.Replicas {
+				total += rep.Requests
+			}
+		}
+		return total, nil
+	}
+	if _, err := probe(); err != nil { // mint (or refresh) the cache entry
+		return nil, err
+	}
+	before, err := replicaRequests()
+	if err != nil {
+		return nil, err
+	}
+	hit, err := probe()
+	if err != nil {
+		return nil, err
+	}
+	after, err := replicaRequests()
+	if err != nil {
+		return nil, err
+	}
+	var stats router.Snapshot
+	if err := getJSON(base+"/stats", &stats); err != nil {
+		return nil, err
+	}
+	r := &resultCacheReport{VerifiedZeroFanout: hit.ResultCacheHit && after == before}
+	if stats.ResultCache != nil {
+		r.Hits = stats.ResultCache.Hits
+		r.Misses = stats.ResultCache.Misses
+		r.Stale = stats.ResultCache.Stale
+		r.HitRate = stats.ResultCache.HitRate
+	}
+	return r, nil
 }
 
 // waitHealthy polls /healthz until the service answers (the listeners
@@ -988,13 +1197,16 @@ type benchClient struct {
 }
 
 type benchQueryResponse struct {
-	Rows      [][]interface{} `json:"rows"`
-	Scores    []float64       `json:"scores"`
-	Ranks     []int           `json:"ranks"`
-	CacheHit  bool            `json:"cache_hit"`
-	Exhausted bool            `json:"exhausted"`
-	CursorID  string          `json:"cursor_id"`
-	Stats     struct {
+	Rows     [][]interface{} `json:"rows"`
+	Scores   []float64       `json:"scores"`
+	Ranks    []int           `json:"ranks"`
+	CacheHit bool            `json:"cache_hit"`
+	// ResultCacheHit is router-only: the answer came from the router's
+	// ranked-result cache with zero shard fan-out.
+	ResultCacheHit bool   `json:"result_cache_hit"`
+	Exhausted      bool   `json:"exhausted"`
+	CursorID       string `json:"cursor_id"`
+	Stats          struct {
 		TuplesScanned int64 `json:"tuples_scanned"`
 	} `json:"stats"`
 	Error string `json:"error"`

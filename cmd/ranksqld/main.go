@@ -47,7 +47,9 @@ func main() {
 	scorers := flag.String("scorers", "", "register a dataset's scorers without seeding its data (comma-separated; for shard backends started with -seed none)")
 	sessionTTL := flag.Duration("session-ttl", 0, "idle-session expiry (0 = sessions never expire)")
 	routerMode := flag.Bool("router", false, "run as a sharding coordinator over -shards instead of an embedded engine")
-	shards := flag.String("shards", "", "comma-separated shard base URLs (router mode), e.g. host1:7070,host2:7070")
+	shards := flag.String("shards", "", "shard base URLs (router mode): shards separated by ';', replicas of one shard by ',', e.g. a:7070,b:7070;c:7070,d:7070 (two shards, two replicas each); with no ';' each comma-separated URL is its own single-replica shard")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "router mode: issue a hedged read to a shard's next replica when the preferred one hasn't answered within this delay (0 = disabled)")
+	resultCache := flag.Int("result-cache", 0, "router mode: ranked-result cache capacity in entries (0 = default, negative = disabled)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this threshold at Warn (0 = disabled), e.g. 250ms")
 	profileEvery := flag.Int("profile-every", 0, "sample per-operator runtime profiles every N-th execution of a cached plan (0 = engine default)")
@@ -63,6 +65,12 @@ func main() {
 		}
 		if *slowQuery > 0 {
 			ropts = append(ropts, router.WithSlowQueryThreshold(*slowQuery))
+		}
+		if *hedgeDelay > 0 {
+			ropts = append(ropts, router.WithHedgeDelay(*hedgeDelay))
+		}
+		if *resultCache != 0 {
+			ropts = append(ropts, router.WithResultCache(*resultCache))
 		}
 		runRouter(ctx, *addr, *shards, *seed, *rows, ropts)
 		return
@@ -111,10 +119,17 @@ func main() {
 // With -seed it loads the dataset through its own partitioned ingest
 // path once the listener is up (the shards receive only their rows).
 func runRouter(ctx context.Context, addr, shardList, seed string, rows int, opts []router.Option) {
+	// ';' separates shards, ',' separates a shard's replicas. Without a
+	// ';' the legacy form — every comma-separated URL its own shard —
+	// still applies, so existing single-replica invocations keep working.
 	var urls []string
-	for _, u := range strings.Split(shardList, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
+	groupSep := ","
+	if strings.Contains(shardList, ";") {
+		groupSep = ";"
+	}
+	for _, g := range strings.Split(shardList, groupSep) {
+		if g = strings.TrimSpace(g); g != "" {
+			urls = append(urls, g)
 		}
 	}
 	rt, err := router.New(urls, opts...)

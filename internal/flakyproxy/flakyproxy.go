@@ -1,0 +1,164 @@
+// Package flakyproxy is a test helper: an HTTP reverse proxy that
+// injects the failure modes a shard client must survive — severed
+// connections, slow responses, and truncated bodies — on a
+// deterministic, seeded fraction of requests. Router failover tests
+// park one of these in front of a shard replica and assert that
+// classified-error retries keep the merged results byte-identical to a
+// healthy cluster.
+package flakyproxy
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy forwards requests to a target base URL, sabotaging a configured
+// fraction of them. The zero fractions make it a transparent proxy.
+type Proxy struct {
+	target string
+	client *http.Client
+
+	// fate fractions, in [0, 1]; evaluated in order drop, corrupt,
+	// delay on every request with a seeded deterministic rng.
+	drop     float64
+	corrupt  float64
+	delay    float64
+	delayFor time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	forwarded atomic.Uint64
+	dropped   atomic.Uint64
+	corrupted atomic.Uint64
+	delayed   atomic.Uint64
+}
+
+// Option configures a Proxy.
+type Option func(*Proxy)
+
+// WithSeed seeds the sabotage rng (default 1); equal seeds reproduce
+// the same fate sequence.
+func WithSeed(seed int64) Option {
+	return func(p *Proxy) { p.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDrop severs the connection mid-request on the given fraction of
+// requests (the client sees a transport error).
+func WithDrop(frac float64) Option {
+	return func(p *Proxy) { p.drop = frac }
+}
+
+// WithCorrupt truncates the response body halfway on the given fraction
+// of requests, keeping the declared Content-Length (the client sees an
+// unexpected-EOF decode error after a 200 status).
+func WithCorrupt(frac float64) Option {
+	return func(p *Proxy) { p.corrupt = frac }
+}
+
+// WithDelay sleeps d before forwarding on the given fraction of
+// requests (hedged-read bait).
+func WithDelay(frac float64, d time.Duration) Option {
+	return func(p *Proxy) { p.delay = frac; p.delayFor = d }
+}
+
+// New builds a proxy forwarding to the target base URL
+// (http://host:port).
+func New(target string, opts ...Option) *Proxy {
+	p := &Proxy{
+		target: target,
+		client: &http.Client{Timeout: 30 * time.Second},
+		rng:    rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Forwarded, Dropped, Corrupted and Delayed report how many requests
+// met each fate (a delayed request that then forwarded cleanly counts
+// in both Delayed and Forwarded).
+func (p *Proxy) Forwarded() uint64 { return p.forwarded.Load() }
+func (p *Proxy) Dropped() uint64   { return p.dropped.Load() }
+func (p *Proxy) Corrupted() uint64 { return p.corrupted.Load() }
+func (p *Proxy) Delayed() uint64   { return p.delayed.Load() }
+
+type fate int
+
+const (
+	fateForward fate = iota
+	fateDrop
+	fateCorrupt
+	fateDelay
+)
+
+func (p *Proxy) pickFate() fate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	roll := p.rng.Float64()
+	switch {
+	case roll < p.drop:
+		return fateDrop
+	case roll < p.drop+p.corrupt:
+		return fateCorrupt
+	case roll < p.drop+p.corrupt+p.delay:
+		return fateDelay
+	default:
+		return fateForward
+	}
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f := p.pickFate()
+	if f == fateDrop {
+		p.dropped.Add(1)
+		// Abort the handler without a response: net/http severs the
+		// connection and the client sees a transport error.
+		panic(http.ErrAbortHandler)
+	}
+	if f == fateDelay {
+		p.delayed.Add(1)
+		time.Sleep(p.delayFor)
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	out.Header = r.Header.Clone()
+	resp, err := p.client.Do(out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if f == fateCorrupt && len(body) > 1 {
+		p.corrupted.Add(1)
+		// Declare the full length but ship half: the server closes the
+		// connection short and the client's decoder sees unexpected EOF.
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(body[:len(body)/2])
+		return
+	}
+	p.forwarded.Add(1)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}

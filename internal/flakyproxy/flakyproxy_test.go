@@ -1,0 +1,135 @@
+package flakyproxy
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func backend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"rows":[[1,2,3],[4,5,6]],"columns":["a","b","c"]}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	be := backend(t)
+	front := httptest.NewServer(New(be.URL))
+	defer front.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(front.URL + "/query")
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		var out struct {
+			Columns []string `json:"columns"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("request %d decode: %v", i, err)
+		}
+		resp.Body.Close()
+		if len(out.Columns) != 3 {
+			t.Fatalf("request %d: columns = %v", i, out.Columns)
+		}
+	}
+}
+
+func TestDropSeversConnection(t *testing.T) {
+	be := backend(t)
+	p := New(be.URL, WithDrop(1.0))
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	_, err := http.Get(front.URL + "/query")
+	if err == nil {
+		t.Fatal("dropped request returned a response, want transport error")
+	}
+	if p.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", p.Dropped())
+	}
+}
+
+func TestCorruptTruncatesBody(t *testing.T) {
+	be := backend(t)
+	p := New(be.URL, WithCorrupt(1.0))
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 with a truncated body", resp.StatusCode)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err == nil {
+		t.Fatal("decoding a truncated body succeeded, want unexpected EOF")
+	}
+	if p.Corrupted() != 1 {
+		t.Errorf("corrupted = %d, want 1", p.Corrupted())
+	}
+}
+
+func TestDelayForwardsSlowly(t *testing.T) {
+	be := backend(t)
+	const lag = 30 * time.Millisecond
+	p := New(be.URL, WithDelay(1.0, lag))
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	start := time.Now()
+	resp, err := http.Get(front.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < lag {
+		t.Errorf("response arrived in %v, want >= %v", elapsed, lag)
+	}
+	if !strings.Contains(string(body), "columns") {
+		t.Errorf("delayed response body corrupted: %q", body)
+	}
+	if p.Delayed() != 1 || p.Forwarded() != 1 {
+		t.Errorf("delayed/forwarded = %d/%d, want 1/1", p.Delayed(), p.Forwarded())
+	}
+}
+
+// TestSeededFatesAreDeterministic: equal seeds yield equal fate
+// sequences, so a failing failover run can be replayed exactly.
+func TestSeededFatesAreDeterministic(t *testing.T) {
+	sequence := func(seed int64) []fate {
+		p := New("http://unused", WithSeed(seed), WithDrop(0.2), WithCorrupt(0.2), WithDelay(0.2, time.Millisecond))
+		fates := make([]fate, 50)
+		for i := range fates {
+			fates[i] = p.pickFate()
+		}
+		return fates
+	}
+	a, b := sequence(42), sequence(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fate %d differs across equal seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	mixed := false
+	for _, f := range a {
+		if f != a[0] {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Error("fraction config produced a single fate for 50 rolls; rng not wired")
+	}
+}

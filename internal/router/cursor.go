@@ -217,8 +217,13 @@ type cursorStream struct {
 	ctx   context.Context
 	trace *obs.Trace
 
+	// rep is the replica holding the shard-side cursor: a suspended
+	// cursor is per-process state, so pulls pin to the replica that
+	// opened it. When that replica fails, resume() re-opens the stream
+	// on another replica and after_rank fast-forward realigns it.
+	rep        *replica
 	cursorID   string // shard cursor id; "" = not yet opened
-	cursorLost bool   // shard lost the cursor; re-execute instead
+	cursorLost bool   // every replica lost the cursor; re-execute instead
 
 	rows        [][]interface{}
 	scores      []float64
@@ -305,12 +310,12 @@ func (s *cursorStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
 			fetch = cursorGrowChunk
 		}
 		start := time.Now()
-		resp, err := s.r.openShardCursor(s.ctx, s.sc, s.t, s.params, s.traceID(), deadlineMS, fetch)
+		resp, rep, err := s.r.openShardCursor(s.ctx, s.sc, s.t, s.params, s.traceID(), deadlineMS, fetch)
 		s.span(start)
 		if err != nil {
-			return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.base, err)
+			return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.addr(), err)
 		}
-		s.cursorID = resp.CursorID
+		s.rep, s.cursorID = rep, resp.CursorID
 		if s.cursorID == "" {
 			// The shard answered without a cursor id (downlevel server):
 			// treat the result as a plain prefix and re-execute from here on.
@@ -330,15 +335,22 @@ func (s *cursorStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
 			delta = n - len(s.rows)
 		}
 		start := time.Now()
-		resp, err := s.sc.cursorNext(s.ctx, s.traceID(),
-			&request{CursorID: s.cursorID, Fetch: delta, DeadlineMS: deadlineMS})
+		// after_rank pins the pull to the prefix the router has already
+		// merged: normally a no-op skip, but if the shard advanced past
+		// us (a pull response lost in flight) it turns silent row loss
+		// into a clean "cannot rewind" error we can recover from.
+		resp, err := s.rep.cursorNext(s.ctx, s.traceID(),
+			&request{CursorID: s.cursorID, Fetch: delta, DeadlineMS: deadlineMS, AfterRank: len(s.rows)})
 		s.span(start)
 		if err != nil {
-			if cursorGone(err) && !cursorDead(err) {
-				s.cursorID, s.cursorLost = "", true
+			if !cursorDead(err) && (retryable(err) || cursorGone(err) || strings.Contains(err.Error(), "rewind")) {
+				if s.resume(deadlineMS) {
+					continue
+				}
+				s.rep, s.cursorID, s.cursorLost = nil, "", true
 				return s.refetchPlain(n, deadlineMS)
 			}
-			return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.base, err)
+			return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.addr(), err)
 		}
 		s.rows = append(s.rows, resp.Rows...)
 		s.scores = append(s.scores, resp.Scores...)
@@ -349,6 +361,46 @@ func (s *cursorStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
 		s.rowsFetched += len(resp.Rows)
 	}
 	return s.rows, s.scores, s.exhausted, nil
+}
+
+// resume re-opens the shard stream on another replica after the pinned
+// one failed or lost the cursor. The rank-aware contract makes this
+// sound: replicas hold identical copies and ranked enumeration is
+// deterministic, so a fresh cursor on a surviving replica serves the
+// same prefix, and the next pull's after_rank fast-forwards it to the
+// rows the router already merged. Returns false when no replica could
+// take over (the caller then degrades to deep re-execution).
+func (s *cursorStream) resume(deadlineMS int) bool {
+	for _, rep := range s.sc.orderedReplicas() {
+		if rep == s.rep {
+			continue
+		}
+		start := time.Now()
+		resp, err := s.r.openCursorOnReplica(s.ctx, rep, s.t, s.params, s.traceID(), deadlineMS, 1)
+		s.span(start)
+		if err != nil || resp.CursorID == "" {
+			if err != nil && retryable(err) {
+				rep.noteFailure()
+			}
+			continue
+		}
+		rep.noteSuccess()
+		s.rep, s.cursorID = rep, resp.CursorID
+		if len(s.rows) == 0 {
+			// Nothing merged yet: the probe page IS the prefix.
+			s.rows, s.scores, s.exhausted = resp.Rows, resp.Scores, resp.Exhausted
+			s.columns = resp.Columns
+			s.stats = resp.Stats
+			s.noteProfile(resp)
+			s.fetched = true
+		}
+		// A non-empty prefix discards the probe row: the next pull's
+		// after_rank skip realigns the new cursor with len(s.rows).
+		s.rowsFetched += len(resp.Rows)
+		s.r.metrics.cursorResumes.Inc()
+		return true
+	}
+	return false
 }
 
 // refetchPlain is the degraded path after the shard lost its cursor:
@@ -376,7 +428,7 @@ func (s *cursorStream) refetchPlain(n, deadlineMS int) ([][]interface{}, []float
 	resp, err := s.r.queryShard(s.ctx, s.sc, s.t, params, s.traceID(), deadlineMS)
 	s.span(start)
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.base, err)
+		return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.addr(), err)
 	}
 	s.rows, s.scores, s.exhausted = resp.Rows, resp.Scores, resp.Exhausted
 	if s.columns == nil {
@@ -402,19 +454,42 @@ func (s *cursorStream) traceID() string {
 // closeRemote releases the shard-side cursor (best-effort), reusing the
 // cursor's last trace ID so the shard's close log line joins the pulls.
 func (s *cursorStream) closeRemote() {
-	if s.cursorID == "" {
+	if s.cursorID == "" || s.rep == nil {
 		return
 	}
 	id := s.cursorID
 	s.cursorID = ""
-	_ = s.sc.cursorClose(s.traceID(), id)
+	_ = s.rep.cursorClose(s.traceID(), id)
 }
 
-// openShardCursor opens a ranked cursor on one shard via the prepared
-// template (preparing it on first use), with the same lost-statement
-// fallback to ad-hoc SQL as queryShard. fetch sizes the first page and,
-// through the trailing limit parameter, tunes the shard's plan depth.
-func (r *Router) openShardCursor(ctx context.Context, sc *shardClient, t *template, params []interface{}, trace string, deadlineMS, fetch int) (*shardQueryResponse, error) {
+// openShardCursor opens a ranked cursor on one of the shard's replicas
+// (failing over on classified-retryable errors; never hedged — the
+// losing hedge would leak a suspended cursor on its replica) and
+// returns the replica the cursor is pinned to.
+func (r *Router) openShardCursor(ctx context.Context, sc *shardClient, t *template, params []interface{}, trace string, deadlineMS, fetch int) (*shardQueryResponse, *replica, error) {
+	type opened struct {
+		resp *shardQueryResponse
+		rep  *replica
+	}
+	out, err := failoverAcross(ctx, sc, sc.orderedReplicas(), func(ctx context.Context, rep *replica) (opened, error) {
+		resp, err := r.openCursorOnReplica(ctx, rep, t, params, trace, deadlineMS, fetch)
+		if err != nil {
+			return opened{}, err
+		}
+		return opened{resp, rep}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.resp, out.rep, nil
+}
+
+// openCursorOnReplica opens a ranked cursor on one replica via the
+// prepared template (preparing it on first use), with the same
+// lost-statement fallback to ad-hoc SQL as queryReplica. fetch sizes
+// the first page and, through the trailing limit parameter, tunes the
+// shard's plan depth.
+func (r *Router) openCursorOnReplica(ctx context.Context, rep *replica, t *template, params []interface{}, trace string, deadlineMS, fetch int) (*shardQueryResponse, error) {
 	shardParams := params
 	if t.sel.limitSlot > 0 {
 		shardParams = make([]interface{}, 0, len(params)+1)
@@ -425,15 +500,15 @@ func (r *Router) openShardCursor(ctx context.Context, sc *shardClient, t *templa
 			shardParams = append(shardParams, fetch)
 		}
 	}
-	id := t.sel.shardStmt(sc.id)
+	id := t.sel.shardStmt(rep)
 	if id == "" && t.sel.shareable() {
-		if newID, err := sc.prepare(ctx, t.sel.fetchSQL); err == nil {
-			t.sel.setShardStmt(sc.id, newID)
+		if newID, err := rep.prepare(ctx, t.sel.fetchSQL); err == nil {
+			t.sel.setShardStmt(rep, newID)
 			id = newID
 		}
 	}
 	if id != "" {
-		resp, err := sc.query(ctx, trace, &request{
+		resp, err := rep.query(ctx, trace, &request{
 			StmtID: id, Params: shardParams, DeadlineMS: deadlineMS, Cursor: true, Fetch: fetch})
 		if err == nil {
 			return resp, nil
@@ -441,9 +516,9 @@ func (r *Router) openShardCursor(ctx context.Context, sc *shardClient, t *templa
 		if !stmtLost(err) {
 			return nil, err
 		}
-		t.sel.setShardStmt(sc.id, "")
+		t.sel.setShardStmt(rep, "")
 	}
-	return sc.query(ctx, trace, &request{
+	return rep.query(ctx, trace, &request{
 		SQL: t.sel.fetchSQL, Params: shardParams, DeadlineMS: deadlineMS, Cursor: true, Fetch: fetch})
 }
 

@@ -43,10 +43,13 @@ func TestRouterInsightEndpoints(t *testing.T) {
 		db.SetProfileSampling(1)
 	}
 
+	// Distinct bindings per iteration: identical (template, bindings, k)
+	// repeats would be served from the router's result cache with no
+	// shard fan-out, and fan-outs are what this test attributes.
 	for i := 0; i < 3; i++ {
 		var qr testQueryResponse
 		if code := postJSON(t, c.front.URL+"/query", map[string]interface{}{
-			"sql": obsQuerySQL, "params": []interface{}{300.0, 5},
+			"sql": obsQuerySQL, "params": []interface{}{300.0 + float64(i), 5},
 		}, &qr); code != http.StatusOK {
 			t.Fatalf("query status %d: %s", code, qr.Error)
 		}

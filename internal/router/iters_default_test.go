@@ -8,4 +8,5 @@ package router
 const (
 	equivalenceIters = 6
 	mergeIters       = 120
+	flakyIters       = 40
 )

@@ -8,4 +8,5 @@ package router
 const (
 	equivalenceIters = 40
 	mergeIters       = 1500
+	flakyIters       = 400
 )

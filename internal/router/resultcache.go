@@ -1,0 +1,292 @@
+package router
+
+import (
+	"container/list"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ranksql/internal/obs"
+)
+
+// Router-side ranked-result cache: a template hit with identical
+// bindings and k is answered from the router with zero shard fan-out.
+// The invalidation model mirrors the engine plan cache
+// (internal/engine/plancache.go) — keys embed a schema version bumped
+// by every DDL fan-out, and entries snapshot the router-tracked row
+// counts of their referenced tables — but where the plan cache keeps a
+// plan until a table doubles (DefaultStaleFactor), this cache drops an
+// entry on *any* row growth: it holds result rows, not plans, and a
+// single inserted row can change a top-k answer. The router fronts
+// every write (DDL fan-out, partitioned INSERT, CSV /load), so its
+// local version and row counts see all changes; rows written to shards
+// behind the router's back are invisible to this accounting, which is
+// why caching only engages for tables created through the router.
+const (
+	// defaultResultCacheCap is the default entry capacity
+	// (WithResultCache overrides; <= 0 disables).
+	defaultResultCacheCap = 512
+	// maxCachedResultRows bounds a cacheable answer: deep cursor-style
+	// result sets would evict many small hot entries for one cold giant.
+	maxCachedResultRows = 1024
+)
+
+type resultKey struct {
+	norm    string
+	bind    string
+	k       int
+	version uint64
+}
+
+// resultEntry is one cached merged answer plus the staleness snapshot
+// it was minted under. The row/score slices are shared with every
+// response served from the entry and must never be mutated.
+type resultEntry struct {
+	columns   []string
+	rows      [][]interface{}
+	scores    []float64
+	exhausted bool
+	// tableRows is each referenced table's router-tracked row count at
+	// the time the fan-out for this answer was issued (snapshotted
+	// before the merge, so writes landing mid-merge invalidate).
+	tableRows map[string]uint64
+}
+
+// ResultCacheStats is the /stats "result_cache" block.
+type ResultCacheStats struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Stale     uint64  `json:"stale"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// resultCache is a mutex-guarded LRU over merged top-k answers.
+type resultCache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[resultKey]*list.Element
+	lru       *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	stale     uint64
+	evictions uint64
+}
+
+type resultCacheItem struct {
+	key resultKey
+	ent *resultEntry
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		entries:  map[resultKey]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// get returns the entry for key if present and still fresh under the
+// current row counts; a present-but-stale entry is removed and counted.
+func (c *resultCache) get(key resultKey, currentRows func(table string) (uint64, bool)) *resultEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	item := el.Value.(*resultCacheItem)
+	for table, snap := range item.ent.tableRows {
+		now, ok := currentRows(table)
+		if !ok || now != snap {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			c.stale++
+			c.misses++
+			return nil
+		}
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return item.ent
+}
+
+func (c *resultCache) put(key resultKey, ent *resultEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*resultCacheItem).ent = ent
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&resultCacheItem{key: key, ent: ent})
+	for len(c.entries) > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*resultCacheItem).key)
+		c.evictions++
+	}
+}
+
+// purge drops every entry (DDL: the version key already orphans them;
+// purging eagerly returns the memory).
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[resultKey]*list.Element{}
+	c.lru.Init()
+}
+
+func (c *resultCache) stats() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := ResultCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Stale:     c.stale,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Capacity:  c.capacity,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}
+
+// renderBindings folds a request's parameters into a canonical cache
+// key fragment. Values are type-tagged so 1, 1.0 and "1" stay distinct
+// keys. Parameters outside the JSON scalar set make the request
+// uncacheable rather than guessing a rendering.
+func renderBindings(params []interface{}) (string, bool) {
+	if len(params) == 0 {
+		return "", true
+	}
+	var b strings.Builder
+	for _, p := range params {
+		b.WriteByte(0)
+		switch v := p.(type) {
+		case nil:
+			b.WriteByte('~')
+		case bool:
+			b.WriteByte('b')
+			b.WriteString(strconv.FormatBool(v))
+		case string:
+			b.WriteByte('s')
+			b.WriteString(v)
+		case json.Number:
+			b.WriteByte('n')
+			b.WriteString(v.String())
+		case float64:
+			b.WriteByte('n')
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		case int:
+			b.WriteByte('n')
+			b.WriteString(strconv.Itoa(v))
+		default:
+			return "", false
+		}
+	}
+	return b.String(), true
+}
+
+// snapshotTables captures the current router-tracked row count of each
+// referenced table under one lock acquisition, along with the schema
+// version (read separately by the callers via resultKeyFor). A table
+// the router has no catalog entry for — seeded behind its back, or a
+// typo the shards will reject anyway — makes the query uncacheable:
+// its growth could not be observed.
+func (r *Router) snapshotTables(tables []string) (map[string]uint64, bool) {
+	if len(tables) == 0 {
+		return nil, false
+	}
+	snap := make(map[string]uint64, len(tables))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range tables {
+		ti, ok := r.tables[name]
+		if !ok {
+			return nil, false
+		}
+		snap[name] = ti.rows
+	}
+	return snap, true
+}
+
+func (r *Router) resultKeyFor(t *template, bindKey string, k int) resultKey {
+	r.mu.Lock()
+	v := r.schemaVersion
+	r.mu.Unlock()
+	return resultKey{norm: t.norm, bind: bindKey, k: k, version: v}
+}
+
+// lookupResult returns a fresh cached answer for (template, bindings,
+// k) or nil.
+func (r *Router) lookupResult(t *template, bindKey string, k int) *resultEntry {
+	return r.results.get(r.resultKeyFor(t, bindKey, k), func(table string) (uint64, bool) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		ti, ok := r.tables[table]
+		if !ok {
+			return 0, false
+		}
+		return ti.rows, true
+	})
+}
+
+// storeResult caches a merged answer under the row-count snapshot taken
+// before its fan-out.
+func (r *Router) storeResult(t *template, bindKey string, k int, snap map[string]uint64, ent *resultEntry) {
+	ent.tableRows = snap
+	r.results.put(r.resultKeyFor(t, bindKey, k), ent)
+}
+
+// serveCachedResult writes a /query response straight from a cache
+// entry: no shard saw this request, so the per-shard stats block is
+// zero and merge.rows_fetched is 0 — which is exactly what the
+// zero-fan-out tests assert through the replica request counters.
+func (r *Router) serveCachedResult(w http.ResponseWriter, trace *obs.Trace, t *template, k int, ent *resultEntry, elapsed time.Duration) {
+	resp := queryResponse{
+		Columns:        ent.columns,
+		Rows:           ent.rows,
+		Scores:         ent.scores,
+		Ranks:          make([]int, len(ent.rows)),
+		CacheHit:       true,
+		ResultCacheHit: true,
+		K:         k,
+		Depth:     len(ent.rows),
+		Exhausted: ent.exhausted,
+		Merge: mergeInfo{
+			Shards:       len(r.shards),
+			ShardsPruned: []int{},
+		},
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		TraceID:   trace.ID,
+	}
+	if resp.Rows == nil {
+		resp.Rows = [][]interface{}{}
+	}
+	if resp.Scores == nil {
+		resp.Scores = []float64{}
+	}
+	for i := range resp.Ranks {
+		resp.Ranks[i] = i + 1
+	}
+	r.metrics.resultCacheHits.Inc()
+	r.metrics.recordQuery(t.norm, elapsed, len(ent.rows), 0, 0, 0)
+	r.tracer.Debug("query served from result cache",
+		"trace", trace.ID, "query", t.norm, "rows", len(ent.rows))
+	writeJSON(w, http.StatusOK, resp)
+}

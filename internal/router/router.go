@@ -52,11 +52,22 @@ type Router struct {
 	pprof   bool
 	cursors *cursorTable
 
+	// hedgeDelay arms hedged merge pulls on every shard client (see
+	// shardRead); resultCacheCap sizes the router-side ranked-result
+	// cache (<= 0 disables it). Both are fixed at New time.
+	hedgeDelay     time.Duration
+	resultCacheCap int
+	results        *resultCache
+
 	mu        sync.Mutex
 	tables    map[string]*tableInfo
 	templates map[string]*template // by normalized statement text
 	stmts     map[string]*template // client-visible prepared statements
 	nextStmt  uint64
+	// schemaVersion counts DDL statements the router has fanned out;
+	// result-cache keys embed it so any schema change orphans every
+	// cached answer (mirrors the engine plan cache's version key).
+	schemaVersion uint64
 }
 
 // tableInfo is the router's catalog entry for a partitioned table,
@@ -66,6 +77,10 @@ type tableInfo struct {
 	cols   []string // lower-cased, in declaration order
 	kinds  []types.Kind
 	keyCol int // partition column index
+	// rows counts rows the router has routed into the table (INSERT +
+	// /load); the result cache snapshots it to detect staleness. It is
+	// guarded by Router.mu, like the rest of the catalog entry.
+	rows uint64
 }
 
 // Option configures a Router.
@@ -81,9 +96,25 @@ func WithLogger(logf func(format string, args ...interface{})) Option {
 func WithHTTPClient(c *http.Client) Option {
 	return func(r *Router) {
 		for _, sc := range r.shards {
-			sc.http = c
+			for _, rep := range sc.replicas {
+				rep.http = c
+			}
 		}
 	}
+}
+
+// WithHedgeDelay arms hedged reads: when a shard's preferred replica
+// has not answered a merge pull within d, the same pull is issued to
+// the shard's next replica and the first answer wins. d <= 0 (the
+// default) disables hedging; shards with a single replica never hedge.
+func WithHedgeDelay(d time.Duration) Option {
+	return func(r *Router) { r.hedgeDelay = d }
+}
+
+// WithResultCache sizes the router-side ranked-result cache (entries).
+// capacity <= 0 disables it; the default is defaultResultCacheCap.
+func WithResultCache(capacity int) Option {
+	return func(r *Router) { r.resultCacheCap = capacity }
 }
 
 // WithTraceLogger sets the structured logger query traces are written
@@ -116,20 +147,25 @@ func WithCursorTTL(ttl time.Duration) Option {
 	return func(r *Router) { r.cursors.ttl = ttl }
 }
 
-// New builds a Router over the given shard base URLs (http://host:port).
+// New builds a Router over the given shard specs. Each spec is one
+// shard: either a single base URL (http://host:port) or a
+// comma-separated replica group ("http://a:1,http://b:1") whose members
+// hold identical copies of the shard's partition — the router fans
+// writes to all of them and fails reads over between them.
 func New(shardURLs []string, opts ...Option) (*Router, error) {
 	if len(shardURLs) == 0 {
 		return nil, fmt.Errorf("router: at least one shard URL is required")
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
 	r := &Router{
-		logf:      log.Printf,
-		metrics:   newMetrics(),
-		tracer:    slog.Default(),
-		cursors:   newCursorTable(),
-		tables:    map[string]*tableInfo{},
-		templates: map[string]*template{},
-		stmts:     map[string]*template{},
+		logf:           log.Printf,
+		metrics:        newMetrics(),
+		tracer:         slog.Default(),
+		cursors:        newCursorTable(),
+		tables:         map[string]*tableInfo{},
+		templates:      map[string]*template{},
+		stmts:          map[string]*template{},
+		resultCacheCap: defaultResultCacheCap,
 	}
 	r.metrics.reg.GaugeFunc("ranksql_router_open_cursors",
 		"Ranked cursors currently open on the router (each pins per-shard stream positions).",
@@ -137,18 +173,31 @@ func New(shardURLs []string, opts ...Option) (*Router, error) {
 	r.metrics.reg.GaugeFunc("ranksql_router_cursors_expired_total",
 		"Router cursors collected by the idle-cursor TTL GC.",
 		func() float64 { return float64(r.cursors.expiredCount()) })
-	for i, u := range shardURLs {
-		u = strings.TrimRight(strings.TrimSpace(u), "/")
-		if u == "" {
-			return nil, fmt.Errorf("router: shard %d has an empty URL", i)
+	for i, group := range shardURLs {
+		sc := &shardClient{id: i, m: r.metrics}
+		for j, u := range strings.Split(group, ",") {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u == "" {
+				return nil, fmt.Errorf("router: shard %d, replica %d has an empty URL", i, j)
+			}
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			sc.replicas = append(sc.replicas, &replica{shardID: i, idx: j, base: u, http: client})
 		}
-		if !strings.Contains(u, "://") {
-			u = "http://" + u
-		}
-		r.shards = append(r.shards, &shardClient{id: i, base: u, http: client})
+		r.shards = append(r.shards, sc)
 	}
 	for _, o := range opts {
 		o(r)
+	}
+	for _, sc := range r.shards {
+		sc.hedgeDelay = r.hedgeDelay
+	}
+	if r.resultCacheCap > 0 {
+		r.results = newResultCache(r.resultCacheCap)
+		r.metrics.reg.GaugeFunc("ranksql_router_result_cache_entries",
+			"Entries currently held by the router-side ranked-result cache.",
+			func() float64 { return float64(r.results.len()) })
 	}
 	return r, nil
 }
@@ -303,15 +352,18 @@ type selectTemplate struct {
 	// one-shot literal template goes ad-hoc — preparing it would leak a
 	// statement per request into each shard's default session.
 	share bool
+	// tables are the referenced table names (lower-cased): the result
+	// cache snapshots their router-tracked row counts for staleness.
+	tables []string
 
 	mu         sync.Mutex
-	shardStmts []string // per-shard prepared statement ids; "" = not prepared
+	shardStmts map[*replica]string // per-replica prepared statement ids
 }
 
-func (st *selectTemplate) shardStmt(i int) string {
+func (st *selectTemplate) shardStmt(rep *replica) string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.shardStmts[i]
+	return st.shardStmts[rep]
 }
 
 func (st *selectTemplate) shareable() bool {
@@ -320,10 +372,14 @@ func (st *selectTemplate) shareable() bool {
 	return st.share
 }
 
-func (st *selectTemplate) setShardStmt(i int, id string) {
+func (st *selectTemplate) setShardStmt(rep *replica, id string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.shardStmts[i] = id
+	if id == "" {
+		delete(st.shardStmts, rep)
+		return
+	}
+	st.shardStmts[rep] = id
 }
 
 // parseTemplate parses and canonicalizes a statement; SELECTs get their
@@ -351,7 +407,10 @@ func (r *Router) parseTemplate(src string) (*template, error) {
 		s := &selectTemplate{
 			ranked:     len(sel.Order) > 0,
 			share:      t.numParams > 0,
-			shardStmts: make([]string, len(r.shards)),
+			shardStmts: map[*replica]string{},
+		}
+		for _, tr := range sel.Tables {
+			s.tables = append(s.tables, strings.ToLower(tr.Name))
 		}
 		switch {
 		case sel.LimitParam > 0:
@@ -496,9 +555,14 @@ type queryResponse struct {
 	// total order (score desc, then shard index asc, then shard
 	// insertion order); cursor pages continue the numbering where the
 	// previous page stopped.
-	Ranks     []int      `json:"ranks"`
-	CacheHit  bool       `json:"cache_hit"`
-	K         int        `json:"k"`
+	Ranks []int `json:"ranks"`
+	// CacheHit means every shard answered from its plan cache;
+	// ResultCacheHit means the router answered from its own ranked-result
+	// cache with zero shard fan-out (CacheHit is also set then — no shard
+	// had to plan anything).
+	CacheHit       bool `json:"cache_hit"`
+	ResultCacheHit bool `json:"result_cache_hit,omitempty"`
+	K              int  `json:"k"`
 	Depth     int        `json:"depth"`
 	Offset    int        `json:"offset,omitempty"`
 	Exhausted bool       `json:"exhausted"`
@@ -563,6 +627,24 @@ func (r *Router) handleQuery(w http.ResponseWriter, hr *http.Request, req *reque
 	if req.Cursor {
 		r.handleCursorOpen(w, hr, req, trace, t, k)
 		return
+	}
+
+	// Result-cache lookup: a template hit with identical bindings and k
+	// is served straight from the router with zero shard fan-out, as
+	// long as no schema change or row growth has invalidated it. The
+	// row-count snapshot for a potential store is taken *before* the
+	// fan-out: a write landing while the merge runs then bumps the count
+	// past the snapshot and the entry can never serve stale rows.
+	bindKey, cacheable := renderBindings(req.Params)
+	var tableSnap map[string]uint64
+	if r.results != nil && cacheable {
+		start := time.Now()
+		if ent := r.lookupResult(t, bindKey, k); ent != nil {
+			r.serveCachedResult(w, trace, t, k, ent, time.Since(start))
+			return
+		}
+		r.metrics.resultCacheMisses.Inc()
+		tableSnap, cacheable = r.snapshotTables(t.sel.tables)
 	}
 
 	ctx := hr.Context()
@@ -635,6 +717,14 @@ func (r *Router) handleQuery(w http.ResponseWriter, hr *http.Request, req *reque
 		resp.Merge.RowsFetched += len(s.rows)
 	}
 	resp.TraceID = trace.ID
+	if r.results != nil && cacheable && len(merged.Rows) <= maxCachedResultRows {
+		r.storeResult(t, bindKey, k, tableSnap, &resultEntry{
+			columns:   resp.Columns,
+			rows:      resp.Rows,
+			scores:    resp.Scores,
+			exhausted: resp.Exhausted,
+		})
+	}
 	r.metrics.recordQuery(t.norm, elapsed, len(merged.Rows), resp.Merge.RowsFetched,
 		len(merged.Pruned), merged.Refills)
 	views := make([]shardView, len(hs))
@@ -718,7 +808,7 @@ func (s *httpStream) Fetch(n int) ([][]interface{}, []float64, bool, error) {
 		s.trace.AddSpan(fmt.Sprintf("shard%d_fetch%d", s.sc.id, s.rounds), start, time.Now())
 	}
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.base, err)
+		return nil, nil, false, fmt.Errorf("shard %d (%s): %w", s.sc.id, s.sc.addr(), err)
 	}
 	s.rows, s.scores, s.exhausted = resp.Rows, resp.Scores, resp.Exhausted
 	s.columns = resp.Columns
@@ -748,34 +838,45 @@ func stmtLost(err error) bool {
 		strings.Contains(msg, "expired")
 }
 
-// queryShard executes a fetch template on one shard, preparing it there
-// on first use (shareable templates only; one-shot literal SQL goes
-// ad-hoc). A prepared execution that fails because the shard lost its
-// statement state (restart) falls back to ad-hoc SQL; any other error —
-// deterministic engine failures included — is returned as-is rather
-// than paying a doomed second execution.
+// queryShard executes a fetch template on one shard, hedging against a
+// slow preferred replica and failing over on classified-retryable
+// errors (see shardRead). Per-replica prepared-statement state lives in
+// the template, so whichever replica answers uses (or mints) its own
+// statement id.
 func (r *Router) queryShard(ctx context.Context, sc *shardClient, t *template, params []interface{}, trace string, deadlineMS int) (*shardQueryResponse, error) {
-	id := t.sel.shardStmt(sc.id)
+	return shardRead(ctx, sc, func(ctx context.Context, rep *replica) (*shardQueryResponse, error) {
+		return r.queryReplica(ctx, rep, t, params, trace, deadlineMS)
+	})
+}
+
+// queryReplica executes a fetch template on one replica, preparing it
+// there on first use (shareable templates only; one-shot literal SQL
+// goes ad-hoc). A prepared execution that fails because the replica
+// lost its statement state (restart) falls back to ad-hoc SQL; any
+// other error — deterministic engine failures included — is returned
+// as-is rather than paying a doomed second execution.
+func (r *Router) queryReplica(ctx context.Context, rep *replica, t *template, params []interface{}, trace string, deadlineMS int) (*shardQueryResponse, error) {
+	id := t.sel.shardStmt(rep)
 	if id == "" && t.sel.shareable() {
-		if newID, err := sc.prepare(ctx, t.sel.fetchSQL); err == nil {
-			t.sel.setShardStmt(sc.id, newID)
+		if newID, err := rep.prepare(ctx, t.sel.fetchSQL); err == nil {
+			t.sel.setShardStmt(rep, newID)
 			id = newID
 		}
 	}
 	if id != "" {
-		resp, err := sc.query(ctx, trace, &request{StmtID: id, Params: params, DeadlineMS: deadlineMS})
+		resp, err := rep.query(ctx, trace, &request{StmtID: id, Params: params, DeadlineMS: deadlineMS})
 		if err == nil {
 			return resp, nil
 		}
 		if !stmtLost(err) {
 			return nil, err
 		}
-		t.sel.setShardStmt(sc.id, "")
+		t.sel.setShardStmt(rep, "")
 	}
-	return sc.query(ctx, trace, &request{SQL: t.sel.fetchSQL, Params: params, DeadlineMS: deadlineMS})
+	return rep.query(ctx, trace, &request{SQL: t.sel.fetchSQL, Params: params, DeadlineMS: deadlineMS})
 }
 
-func (r *Router) handleExec(w http.ResponseWriter, _ *http.Request, req *request) {
+func (r *Router) handleExec(w http.ResponseWriter, hr *http.Request, req *request) {
 	t, code, err := r.resolveTemplate(req)
 	if err != nil {
 		r.metrics.recordError("")
@@ -797,44 +898,58 @@ func (r *Router) handleExec(w http.ResponseWriter, _ *http.Request, req *request
 		return
 	}
 
+	// The request context travels into the shard fan-out so a dropped
+	// client connection (or deadline_ms budget) cancels in-flight shard
+	// calls instead of letting them run to completion unobserved.
+	ctx := hr.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+
 	var affected int
 	var message string
 	switch s := bound.(type) {
 	case *sql.InsertStmt:
-		affected, err = r.partitionInsert(s)
+		affected, err = r.partitionInsert(ctx, s)
 		if err != nil {
 			r.metrics.recordError(t.norm)
 			writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
 			return
 		}
+		r.noteRows(s.Table, affected)
 	case *sql.CreateTableStmt:
 		if err := r.registerTable(s, req.PartitionKey); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 			return
 		}
-		if err := r.fanoutExec(sql.Normalize(bound), alreadyExists); err != nil {
+		if err := r.fanoutExec(ctx, sql.Normalize(bound), alreadyExists); err != nil {
 			r.unregisterTable(s.Name)
 			r.metrics.recordError(t.norm)
 			writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
 			return
 		}
+		r.bumpSchemaVersion()
 		message = "CREATE TABLE (all shards)"
 	case *sql.DropTableStmt:
-		if err := r.fanoutExec(sql.Normalize(bound), doesNotExist); err != nil {
+		if err := r.fanoutExec(ctx, sql.Normalize(bound), doesNotExist); err != nil {
 			r.metrics.recordError(t.norm)
 			writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
 			return
 		}
 		r.unregisterTable(s.Name)
+		r.bumpSchemaVersion()
 		message = "DROP TABLE (all shards)"
 	default:
 		// CREATE [RANK] INDEX and friends: idempotent on replay, like
 		// CREATE TABLE, so partially-applied DDL can be re-issued.
-		if err := r.fanoutExec(sql.Normalize(bound), alreadyExists); err != nil {
+		if err := r.fanoutExec(ctx, sql.Normalize(bound), alreadyExists); err != nil {
 			r.metrics.recordError(t.norm)
 			writeJSON(w, http.StatusBadGateway, errorResponse{err.Error()})
 			return
 		}
+		r.bumpSchemaVersion()
 		message = "OK (all shards)"
 	}
 	r.metrics.recordExec()
@@ -897,8 +1012,9 @@ func partition(v types.Value, nShards int) int {
 }
 
 // partitionInsert splits a bound INSERT's rows by partition key and
-// sends each shard its subset (in parallel) as a literal INSERT.
-func (r *Router) partitionInsert(s *sql.InsertStmt) (int, error) {
+// sends each shard its subset (in parallel) as a literal INSERT, to
+// every replica of the shard — the router is the replication layer.
+func (r *Router) partitionInsert(ctx context.Context, s *sql.InsertStmt) (int, error) {
 	ti, err := r.tableInfo(s.Table)
 	if err != nil {
 		return 0, err
@@ -922,43 +1038,70 @@ func (r *Router) partitionInsert(s *sql.InsertStmt) (int, error) {
 		go func(i int, sc *shardClient) {
 			defer wg.Done()
 			ins := &sql.InsertStmt{Table: s.Table, Rows: groups[i]}
-			counts[i], errs[i] = sc.exec(sql.Normalize(ins))
+			counts[i], errs[i] = sc.execAll(ctx, sql.Normalize(ins), nil)
 		}(i, sc)
 	}
 	wg.Wait()
 	total := 0
 	for i := range r.shards {
 		if errs[i] != nil {
-			return total, fmt.Errorf("shard %d (%s): %w", i, r.shards[i].base, errs[i])
+			return total, fmt.Errorf("shard %d (%s): %w", i, r.shards[i].addr(), errs[i])
 		}
 		total += counts[i]
 	}
 	return total, nil
 }
 
-// fanoutExec runs a statement on every shard in parallel, failing if any
-// shard fails (shards may then diverge; see the README's failure notes).
-// A non-nil tolerate func marks per-shard errors that mean the statement
-// had already taken effect there (e.g. "already exists" on a re-issued
-// CREATE TABLE), so replaying DDL after a partial failure converges the
-// divergent shards instead of wedging on the ones that succeeded.
-func (r *Router) fanoutExec(sqlText string, tolerate func(error) bool) error {
+// fanoutExec runs a statement on every replica of every shard in
+// parallel, failing if any fails (replicas may then diverge; see the
+// README's failure notes). A non-nil tolerate func marks per-replica
+// errors that mean the statement had already taken effect there (e.g.
+// "already exists" on a re-issued CREATE TABLE), so replaying DDL after
+// a partial failure converges the divergent copies instead of wedging
+// on the ones that succeeded.
+func (r *Router) fanoutExec(ctx context.Context, sqlText string, tolerate func(error) bool) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(r.shards))
 	for i, sc := range r.shards {
 		wg.Add(1)
 		go func(i int, sc *shardClient) {
 			defer wg.Done()
-			_, errs[i] = sc.exec(sqlText)
+			_, errs[i] = sc.execAll(ctx, sqlText, tolerate)
 		}(i, sc)
 	}
 	wg.Wait()
 	for i, err := range errs {
-		if err != nil && (tolerate == nil || !tolerate(err)) {
-			return fmt.Errorf("shard %d (%s): %w", i, r.shards[i].base, err)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// bumpSchemaVersion records a fanned-out DDL statement: result-cache
+// keys embed the version, so every cached answer minted before the DDL
+// becomes unreachable (and is purged eagerly).
+func (r *Router) bumpSchemaVersion() {
+	r.mu.Lock()
+	r.schemaVersion++
+	r.mu.Unlock()
+	if r.results != nil {
+		r.results.purge()
+	}
+}
+
+// noteRows advances the router-tracked row count of a table after a
+// successful routed write; the result cache compares these counts
+// against its per-entry snapshots to detect stale answers.
+func (r *Router) noteRows(table string, n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	if ti, ok := r.tables[strings.ToLower(table)]; ok {
+		ti.rows += uint64(n)
+	}
+	r.mu.Unlock()
 }
 
 func alreadyExists(err error) bool { return strings.Contains(err.Error(), "already exists") }
@@ -1031,7 +1174,7 @@ func (r *Router) handleLoad(w http.ResponseWriter, hr *http.Request) {
 		wg.Add(1)
 		go func(i int, sc *shardClient) {
 			defer wg.Done()
-			counts[i], errs[i] = sc.load(table, bufs[i].Bytes())
+			counts[i], errs[i] = sc.loadAll(hr.Context(), table, bufs[i].Bytes())
 		}(i, sc)
 	}
 	wg.Wait()
@@ -1040,11 +1183,12 @@ func (r *Router) handleLoad(w http.ResponseWriter, hr *http.Request) {
 		if errs[i] != nil {
 			r.metrics.recordError("")
 			writeJSON(w, http.StatusBadGateway, errorResponse{
-				fmt.Sprintf("shard %d (%s): %v", i, r.shards[i].base, errs[i])})
+				fmt.Sprintf("shard %d: %v", i, errs[i])})
 			return
 		}
 		total += counts[i]
 	}
+	r.noteRows(table, total)
 	r.metrics.recordLoad()
 	writeJSON(w, http.StatusOK, map[string]interface{}{"rows_loaded": total})
 }
@@ -1057,6 +1201,10 @@ func (r *Router) handleStats(w http.ResponseWriter, hr *http.Request) {
 	snap := r.metrics.snapshot()
 	snap.Shards = len(r.shards)
 	snap.ShardHealth = r.probeShards()
+	if r.results != nil {
+		rc := r.results.stats()
+		snap.ResultCache = &rc
+	}
 	snap.Cursors = CursorSnapshot{
 		Open:    r.cursors.count(),
 		Opened:  r.metrics.cursorsOpened.Value(),
@@ -1082,17 +1230,36 @@ func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, code, map[string]interface{}{"status": status, "shards": health})
 }
 
+// probeShards health-checks every replica of every shard in parallel.
+// A shard counts as healthy while any of its replicas answers: the
+// partition is still reachable through the survivors.
 func (r *Router) probeShards() []ShardStatus {
 	out := make([]ShardStatus, len(r.shards))
 	var wg sync.WaitGroup
 	for i, sc := range r.shards {
-		wg.Add(1)
-		go func(i int, sc *shardClient) {
-			defer wg.Done()
-			out[i] = ShardStatus{ID: sc.id, Base: sc.base, Healthy: sc.healthy()}
-		}(i, sc)
+		out[i] = ShardStatus{ID: sc.id, Base: sc.addr(), Replicas: make([]ReplicaStatus, len(sc.replicas))}
+		for j, rep := range sc.replicas {
+			wg.Add(1)
+			go func(i, j int, rep *replica) {
+				defer wg.Done()
+				out[i].Replicas[j] = ReplicaStatus{
+					Index:    j,
+					Base:     rep.base,
+					Healthy:  rep.healthy(),
+					Requests: rep.requests.Load(),
+					Failures: rep.failures.Load(),
+				}
+			}(i, j, rep)
+		}
 	}
 	wg.Wait()
+	for i := range out {
+		for _, rs := range out[i].Replicas {
+			if rs.Healthy {
+				out[i].Healthy = true
+			}
+		}
+	}
 	return out
 }
 

@@ -76,8 +76,9 @@ type testQueryResponse struct {
 	Rows      [][]interface{} `json:"rows"`
 	Scores    []float64       `json:"scores"`
 	Ranks     []int           `json:"ranks"`
-	CacheHit  bool            `json:"cache_hit"`
-	K         int             `json:"k"`
+	CacheHit       bool `json:"cache_hit"`
+	ResultCacheHit bool `json:"result_cache_hit"`
+	K              int  `json:"k"`
 	Depth     int             `json:"depth"`
 	Offset    int             `json:"offset"`
 	Exhausted bool            `json:"exhausted"`
@@ -389,7 +390,7 @@ func TestRouterShardDown(t *testing.T) {
 		http.Error(w, "down", http.StatusServiceUnavailable)
 	}))
 	t.Cleanup(dead.Close)
-	c.router.shards[1].base = dead.URL
+	c.router.shards[1].replicas[0].base = dead.URL
 
 	var got testQueryResponse
 	code := postJSON(t, c.front.URL+"/query", map[string]interface{}{

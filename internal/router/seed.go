@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strings"
 
 	"ranksql/internal/server"
@@ -39,7 +40,7 @@ func SeedVia(client *http.Client, base, dataset string, n int) error {
 		return nil
 	}
 	load := func(table, csvBody string) error {
-		resp, err := client.Post(base+"/load?table="+table, "text/csv", strings.NewReader(csvBody))
+		resp, err := client.Post(base+"/load?table="+url.QueryEscape(table), "text/csv", strings.NewReader(csvBody))
 		if err != nil {
 			return err
 		}

@@ -49,6 +49,19 @@ type metrics struct {
 	cursorHits    *obs.Counter
 	cursorMisses  *obs.Counter
 
+	// Reliability counters: replica failovers, hedged reads, and
+	// cursor-stream replica resumes (see client.go and cursor.go).
+	failovers     *obs.Counter
+	hedgesIssued  *obs.Counter
+	hedgesWon     *obs.Counter
+	hedgesLost    *obs.Counter
+	cursorResumes *obs.Counter
+
+	// Router-side ranked-result cache traffic (entry/staleness detail
+	// lives in the cache itself; see resultcache.go).
+	resultCacheHits   *obs.Counter
+	resultCacheMisses *obs.Counter
+
 	mu       sync.Mutex
 	started  time.Time
 	perQuery map[string]*templateMetrics
@@ -99,6 +112,20 @@ func newMetrics() *metrics {
 			"/cursor/next calls that resolved a live cursor."),
 		cursorMisses: reg.Counter("ranksql_router_cursor_misses_total",
 			"/cursor/next calls naming an unknown or expired cursor."),
+		failovers: reg.Counter("ranksql_router_shard_failovers_total",
+			"Shard calls retried on another replica after a retryable failure."),
+		hedgesIssued: reg.Counter("ranksql_router_hedges_issued_total",
+			"Hedged reads issued to a second replica after the preferred one stalled."),
+		hedgesWon: reg.Counter("ranksql_router_hedges_won_total",
+			"Hedged reads where the hedge replica answered first."),
+		hedgesLost: reg.Counter("ranksql_router_hedges_lost_total",
+			"Hedged reads where the preferred replica still answered first."),
+		cursorResumes: reg.Counter("ranksql_router_cursor_replica_resumes_total",
+			"Shard cursor streams re-opened on another replica via after_rank fast-forward."),
+		resultCacheHits: reg.Counter("ranksql_router_result_cache_hits_total",
+			"Merged queries served from the router-side ranked-result cache with zero shard fan-out."),
+		resultCacheMisses: reg.Counter("ranksql_router_result_cache_misses_total",
+			"Cacheable merged queries that had to fan out to the shards."),
 		started:  time.Now(),
 		perQuery: map[string]*templateMetrics{},
 	}
@@ -180,11 +207,36 @@ type TemplateStats struct {
 	templateMetrics
 }
 
-// ShardStatus describes one backend in the /stats payload.
+// ShardStatus describes one shard (a replica set) in the /stats
+// payload. Healthy is true while any replica answers; Base names the
+// currently-preferred replica.
 type ShardStatus struct {
-	ID      int    `json:"id"`
-	Base    string `json:"base_url"`
-	Healthy bool   `json:"healthy"`
+	ID       int             `json:"id"`
+	Base     string          `json:"base_url"`
+	Healthy  bool            `json:"healthy"`
+	Replicas []ReplicaStatus `json:"replicas,omitempty"`
+}
+
+// ReplicaStatus describes one replica of a shard. Requests counts
+// protocol calls the router sent it (queries, execs, loads — not
+// health probes), so tests can assert a result-cache hit issued zero
+// shard traffic.
+type ReplicaStatus struct {
+	Index    int    `json:"index"`
+	Base     string `json:"base_url"`
+	Healthy  bool   `json:"healthy"`
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+}
+
+// ReliabilitySnapshot is the failover/hedging block of the /stats
+// payload.
+type ReliabilitySnapshot struct {
+	Failovers            uint64 `json:"failovers"`
+	HedgesIssued         uint64 `json:"hedges_issued"`
+	HedgesWon            uint64 `json:"hedges_won"`
+	HedgesLost           uint64 `json:"hedges_lost"`
+	CursorReplicaResumes uint64 `json:"cursor_replica_resumes"`
 }
 
 // InsightSnapshot is the query-insight block of the router's /stats
@@ -234,6 +286,12 @@ type Snapshot struct {
 	// Cursors summarizes the router's resumable ranked cursors.
 	Cursors CursorSnapshot `json:"cursors"`
 
+	// Reliability summarizes replica failovers and hedged reads;
+	// ResultCache the router-side ranked-result cache (nil when the
+	// cache is disabled).
+	Reliability ReliabilitySnapshot `json:"reliability"`
+	ResultCache *ResultCacheStats   `json:"result_cache,omitempty"`
+
 	PerQuery    []TemplateStats `json:"per_query"`
 	ShardHealth []ShardStatus   `json:"shard_health"`
 }
@@ -270,6 +328,13 @@ func (m *metrics) snapshot() Snapshot {
 			Records:              m.insight.Observed(),
 			RecordsWithEstimates: m.insight.WithEstimates(),
 			HighDriftRecords:     m.insight.HighDrift(),
+		},
+		Reliability: ReliabilitySnapshot{
+			Failovers:            m.failovers.Value(),
+			HedgesIssued:         m.hedgesIssued.Value(),
+			HedgesWon:            m.hedgesWon.Value(),
+			HedgesLost:           m.hedgesLost.Value(),
+			CursorReplicaResumes: m.cursorResumes.Value(),
 		},
 	}
 	snap.AvgQueryMS = snap.Latency.MeanMS
